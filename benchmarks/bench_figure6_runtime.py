@@ -1,0 +1,141 @@
+"""Figure 6 — run time of compiler-generated Pregel programs normalized to
+the manual implementations, plus the §5.2 parity table (timesteps, messages,
+network I/O).
+
+The paper's result: normalized run times between 0.92x and 1.35x, with the
+generated programs taking the *same* timesteps and network I/O as the manual
+ones.  We reproduce the same comparison on the simulator; the recorded
+deviations (a one-superstep initialization phase; the incoming-neighbors
+prologue for conductance) are explained in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bc_experiments, default_args, figure6_experiments, render_table, run_pair
+from repro.compiler import compile_algorithm
+from repro.algorithms.manual import MANUAL_PROGRAMS
+from repro.graphgen import applicable_graphs, load_graph
+
+from conftest import bench_scale, emit_report
+
+_GRAPHS: dict[str, object] = {}
+
+
+def _graph(key: str, scale: float):
+    if key not in _GRAPHS:
+        _GRAPHS[key] = load_graph(key, scale)
+    return _GRAPHS[key]
+
+
+def test_figure6_report(benchmark, scale, report_dir):
+    benchmark.pedantic(lambda: _figure6_report(scale, report_dir), rounds=1, iterations=1)
+
+
+def _figure6_report(scale, report_dir):
+    results = figure6_experiments(scale, repeats=3)
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.algorithm,
+                r.graph,
+                r.normalized_runtime,
+                f"{r.generated.supersteps}/{r.manual.supersteps}",
+                f"{r.generated.messages}/{r.manual.messages}",
+                f"{r.generated.net_bytes}/{r.manual.net_bytes}",
+                r.message_parity,
+            ]
+        )
+    table = render_table(
+        [
+            "Algorithm",
+            "Graph",
+            "Runtime (gen/man)",
+            "Timesteps g/m",
+            "Messages g/m",
+            "Net bytes g/m",
+            "Msg parity",
+        ],
+        rows,
+    )
+    emit_report(report_dir, "figure6_runtime", "Figure 6 (normalized run time) + §5.2 parity\n" + table)
+
+    # The paper's envelope was [0.92, 1.35]; allow a wider band for the
+    # simulator but insist on the same performance class.  Pairs whose manual
+    # run is in the sub-millisecond range are excluded from the band: there
+    # the ratio measures fixed per-superstep overhead, not the algorithm
+    # (e.g. SSSP on the bipartite graph finishes in one hop).
+    for r in results:
+        assert r.normalized_runtime is not None
+        if r.manual.wall_seconds > 0.005:
+            assert 0.4 <= r.normalized_runtime <= 3.0, (
+                r.algorithm,
+                r.graph,
+                r.normalized_runtime,
+            )
+    # exact message parity where the paper claims it
+    for r in results:
+        if r.algorithm in ("pagerank", "sssp", "avg_teen_cnt"):
+            assert r.message_parity, (r.algorithm, r.graph)
+            assert r.generated.net_bytes == r.manual.net_bytes
+
+
+def test_bc_generated_only_report(benchmark, scale, report_dir):
+    benchmark.pedantic(lambda: _bc_generated_only_report(scale, report_dir), rounds=1, iterations=1)
+
+
+def _bc_generated_only_report(scale, report_dir):
+    results = bc_experiments(scale, repeats=1)
+    table = render_table(
+        ["Graph", "Supersteps", "Messages", "Net bytes", "Wall (s)"],
+        [
+            [r.graph, r.generated.supersteps, r.generated.messages, r.generated.net_bytes,
+             r.generated.wall_seconds]
+            for r in results
+        ],
+    )
+    emit_report(
+        report_dir,
+        "bc_generated",
+        "Approximate BC, compiler-generated (no manual Pregel implementation exists)\n"
+        + table,
+    )
+    for r in results:
+        assert r.generated.supersteps > 0
+
+
+def _pairs():
+    scale = bench_scale()
+    pairs = []
+    for algorithm in ("pagerank", "avg_teen_cnt", "conductance", "sssp", "bipartite_matching"):
+        for key in applicable_graphs(algorithm):
+            pairs.append((algorithm, key))
+    return pairs
+
+
+@pytest.mark.parametrize("algorithm,graph_key", _pairs())
+def test_generated_runtime(benchmark, algorithm, graph_key, scale):
+    graph = _graph(graph_key, scale)
+    compiled = compile_algorithm(algorithm, emit_java=False)
+    args = default_args(algorithm, graph)
+    benchmark.pedantic(
+        lambda: compiled.program.run(graph, args), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("algorithm,graph_key", _pairs())
+def test_manual_runtime(benchmark, algorithm, graph_key, scale):
+    graph = _graph(graph_key, scale)
+    baseline = MANUAL_PROGRAMS[algorithm]
+    args = default_args(algorithm, graph)
+    benchmark.pedantic(lambda: baseline.run(graph, args), rounds=3, iterations=1)
+
+
+def test_bc_runtime(benchmark, scale):
+    graph = _graph("twitter", scale)
+    compiled = compile_algorithm("bc_approx", emit_java=False)
+    benchmark.pedantic(
+        lambda: compiled.program.run(graph, {"K": 4}), rounds=2, iterations=1
+    )

@@ -1,0 +1,67 @@
+"""Scale sweep — how the generated/manual comparison behaves as the workload
+grows (the paper's billion-edge sizes are out of reach; this shows the ratio
+is size-stable, which is what justifies the scaled reproduction).
+
+For PageRank on the twitter analogue at increasing scales: messages grow
+linearly in edges, supersteps stay constant, and the generated/manual
+run-time ratio stays flat — so Figure 6's conclusions transfer across
+scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import default_args, render_table, run_pair
+from repro.graphgen import load_graph
+
+from conftest import emit_report
+
+SCALES = (0.125, 0.25, 0.5, 1.0)
+
+
+def test_scale_sweep_report(benchmark, report_dir):
+    benchmark.pedantic(lambda: _scale_sweep_report(report_dir), rounds=1, iterations=1)
+
+
+def _scale_sweep_report(report_dir):
+    rows = []
+    ratios = []
+    messages = []
+    edges = []
+    for scale in SCALES:
+        graph = load_graph("twitter", scale)
+        pair = run_pair("pagerank", graph, f"twitter@{scale}", repeats=3)
+        rows.append(
+            [
+                scale,
+                graph.num_nodes,
+                graph.num_edges,
+                pair.generated.supersteps,
+                pair.generated.messages,
+                pair.normalized_runtime,
+            ]
+        )
+        ratios.append(pair.normalized_runtime)
+        messages.append(pair.generated.messages)
+        edges.append(graph.num_edges)
+    table = render_table(
+        ["Scale", "Nodes", "Edges", "Supersteps", "Messages", "gen/man runtime"],
+        rows,
+    )
+    emit_report(report_dir, "scale_sweep", "PageRank scale sweep (twitter analogue)\n" + table)
+
+    # messages scale linearly with edges (iterations are fixed)
+    per_edge = [m / e for m, e in zip(messages, edges)]
+    assert max(per_edge) - min(per_edge) < 0.01 * max(per_edge)
+    # the normalized runtime is size-stable (no trend beyond noise)
+    assert max(ratios) / min(ratios) < 2.0
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_pagerank_at_scale(benchmark, scale):
+    graph = load_graph("twitter", scale)
+    from repro.compiler import compile_algorithm
+
+    compiled = compile_algorithm("pagerank", emit_java=False)
+    args = default_args("pagerank", graph)
+    benchmark.pedantic(lambda: compiled.program.run(graph, args), rounds=2, iterations=1)

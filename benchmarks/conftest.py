@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 0.5) scales every workload; the paper's graphs
+are billion-edge, ours default to tens of thousands of edges — Figure 6's
+claim is about *ratios*, which scale preserves.  Reports are also written to
+``benchmarks/reports/`` so the regenerated tables survive output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def emit_report(report_dir: Path, name: str, text: str) -> None:
+    (report_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,61 @@
+"""Approximate Betweenness Centrality — the paper's headline result (§5.1).
+
+The Figure 4 program is 19 lines of Green-Marl; its manual Pregel
+implementation was "prohibitively difficult" (Table 2 lists it as N/A).  The
+compiler turns it into a multi-kernel Pregel program — BFS lowering, edge
+flipping in both directions, the incoming-neighbors prologue, random access
+conversion, four message types — and it simply runs.
+
+This example compiles BC, shows the machinery that fired, runs it on a web
+graph, and validates the scores against a direct Brandes-style computation.
+
+Run:  python examples/betweenness_centrality.py
+"""
+
+from repro.algorithms import reference
+from repro.compiler import compile_algorithm
+from repro.graphgen import web_like
+
+
+def main() -> None:
+    graph = web_like(1500, avg_degree=8, seed=13)
+    print(f"Web graph: {graph}")
+
+    compiled = compile_algorithm("bc_approx")
+    print()
+    print("Compiler rules applied for BC:")
+    for rule, fired in compiled.rule_row().items():
+        print(f"  [{'x' if fired else ' '}] {rule}")
+    print()
+    print(f"Generated program: {len(compiled.ir.phases)} vertex kernels, "
+          f"{len(compiled.ir.messages)} message types "
+          f"(the paper reports nine kernels and four message types).")
+
+    k, seed = 6, 99
+    result = compiled.program.run(graph, {"K": k}, seed=seed, num_workers=8)
+    bc = result.outputs["bc"]
+    print()
+    print(f"Ran {k} random-root traversals: {result.metrics.summary()}")
+
+    top = sorted(range(graph.num_nodes), key=lambda v: -bc[v])[:10]
+    print("top-10 central pages:", top)
+
+    # Validate against the textbook computation over the same roots.
+    roots = reference.bc_roots_for_seed(graph.num_nodes, k, seed)
+    expected = reference.bc_approx(graph, roots)
+    worst = max(abs(bc[v] - expected[v]) for v in graph.nodes())
+    assert worst < 1e-9, worst
+    print(f"Check: matches Brandes dependency accumulation exactly "
+          f"(max abs error {worst:.1e}).")
+
+    # The approximation quality story from the paper: K random roots rank the
+    # highly-central vertices correctly long before the exact computation.
+    exact = reference.bc_approx(graph, list(range(graph.num_nodes)))
+    exact_top = set(sorted(graph.nodes(), key=lambda v: -exact[v])[:10])
+    overlap = len(exact_top & set(top))
+    print(f"Approximation: {overlap}/10 of the exact top-10 recovered with "
+          f"K={k} roots (exact needs {graph.num_nodes} traversals).")
+
+
+if __name__ == "__main__":
+    main()

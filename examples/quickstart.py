@@ -1,0 +1,61 @@
+"""Quickstart: write a Green-Marl procedure, compile it to Pregel, run it.
+
+This is the paper's pitch in 40 lines: you write the algorithm the intuitive
+shared-memory way (here: count each vertex's in-neighbors that carry a larger
+value — a *pull* over incoming neighbors), and the compiler turns it into a
+message-passing, bulk-synchronous Pregel program for you — flipping the edge
+direction, inferring the message payload, and building the state machine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_source
+from repro.graphgen import attach_standard_props, twitter_like
+
+SOURCE = """
+// For every vertex, count incoming neighbors whose 'score' beats ours,
+// then report how many vertices are beaten by nobody.
+Procedure count_dominators(G: Graph, score: N_P<Int>; dom: N_P<Int>): Int {
+  Foreach (n: G.Nodes) {
+    n.dom = Count(t: n.InNbrs)[t.score > n.score];
+  }
+  Int undominated = Count(n: G.Nodes)[n.dom == 0];
+  Return undominated;
+}
+"""
+
+
+def main() -> None:
+    # 1. A synthetic social graph with a 'score' property.
+    graph = twitter_like(2000, avg_degree=10, seed=7)
+    attach_standard_props(graph)
+    graph.add_node_prop("score", [(v * 37) % 100 for v in range(graph.num_nodes)])
+
+    # 2. Compile: parse -> canonical form -> Pregel IR -> executable program.
+    compiled = compile_source(SOURCE)
+    print("Applied compiler rules:", ", ".join(sorted(compiled.rules.applied)))
+    print()
+    print("Pregel-canonical form the compiler produced:")
+    print(compiled.canonical_source)
+    print("Generated state machine:")
+    print(compiled.ir.describe())
+
+    # 3. Run on the simulated Pregel cluster.
+    result = compiled.program.run(graph, num_workers=8)
+    print()
+    print(f"Result: {result.result} undominated vertices out of {graph.num_nodes}")
+    print(f"Cost:   {result.metrics.summary()}")
+
+    # 4. Cross-check against a direct shared-memory computation.
+    score = graph.node_props["score"]
+    expected = sum(
+        1
+        for n in graph.nodes()
+        if not any(score[t] > score[n] for t in graph.in_nbrs(n))
+    )
+    assert result.result == expected, (result.result, expected)
+    print(f"Check:  matches the direct computation ({expected}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Weighted shortest paths on a road-like network, plus the vote-to-halt
+story from §5.2.
+
+The Green-Marl SSSP compiles to a Pregel program whose message traffic is
+*identical* to the hand-written one, but that keeps invoking ``compute()`` on
+converged vertices (the compiler does not emit vote-to-halt — the paper names
+this as the source of its 35% SSSP slowdown on Twitter).  This example makes
+that visible: the message tail goes quiet while the generated program still
+pays full per-superstep cost.
+
+Run:  python examples/shortest_paths_routing.py
+"""
+
+import random
+
+from repro.algorithms.manual import MANUAL_PROGRAMS
+from repro.algorithms.reference import sssp as dijkstra
+from repro.compiler import compile_algorithm
+from repro.pregel import Graph
+
+
+def road_network(side: int, seed: int = 5) -> Graph:
+    """A jittered grid: the classic road-network stand-in.  Long diameter,
+    low degree — the opposite regime from the social graphs."""
+    rng = random.Random(seed)
+    n = side * side
+    edges = []
+    weights = []
+
+    def node(r, c):
+        return r * side + c
+
+    for r in range(side):
+        for c in range(side):
+            for dr, dc in ((0, 1), (1, 0)):
+                r2, c2 = r + dr, c + dc
+                if r2 < side and c2 < side:
+                    w = rng.randrange(1, 10)
+                    edges.append((node(r, c), node(r2, c2)))
+                    weights.append(w)
+                    edges.append((node(r2, c2), node(r, c)))
+                    weights.append(w)
+    return Graph.from_edges(n, edges, edge_props={"len": weights})
+
+
+def main() -> None:
+    graph = road_network(side=40)
+    root = 0
+    print(f"Road network: {graph} (grid diameter ~{2 * 39} hops)")
+
+    compiled = compile_algorithm("sssp")
+    generated = compiled.program.run(
+        graph, {"root": root}, record_per_superstep=True, num_workers=8
+    )
+    manual = MANUAL_PROGRAMS["sssp"].run(
+        graph, {"root": root}, record_per_superstep=True, num_workers=8
+    )
+
+    expected = dijkstra(graph, root)
+    assert generated.outputs["dist"] == expected
+    assert manual.outputs["dist"] == expected
+    print("Both implementations match Dijkstra exactly.")
+    print()
+    print(f"generated: {generated.metrics.summary()}")
+    print(f"manual:    {manual.metrics.summary()}   (uses vote-to-halt)")
+    assert generated.metrics.messages == manual.metrics.messages
+    print()
+
+    per_step = generated.metrics.per_superstep_messages
+    peak = max(per_step)
+    quiet = sum(1 for m in per_step if m < 0.02 * peak)
+    print(f"Message wave: peak {peak} msgs/superstep; "
+          f"{quiet} of {len(per_step)} supersteps carry <2% of the peak —")
+    print("the generated program still runs compute() on every vertex in "
+          "those supersteps, the manual one sleeps them (§5.2).")
+    ratio = generated.metrics.wall_seconds / manual.metrics.wall_seconds
+    print(f"Resulting slowdown on this long-diameter graph: {ratio:.2f}x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Social-network analysis — the paper's motivating workload (Section 2).
+
+Runs the Figure 2 algorithm (average teenage followers) and PageRank on a
+Twitter-like synthetic follower graph, comparing the compiler-generated
+Pregel programs against the hand-written baselines on the same simulated
+cluster: same results, same messages, same network I/O.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from repro.algorithms.manual import MANUAL_PROGRAMS
+from repro.compiler import compile_algorithm
+from repro.graphgen import attach_standard_props, twitter_like
+
+
+def banner(text: str) -> None:
+    print()
+    print(f"=== {text} ===")
+
+
+def main() -> None:
+    graph = twitter_like(3000, avg_degree=12, seed=3)
+    attach_standard_props(graph)
+    print(f"Follower graph: {graph}")
+    degrees = sorted((graph.in_degree(v) for v in graph.nodes()), reverse=True)
+    print(f"Most-followed account has {degrees[0]} followers "
+          f"(average {graph.num_edges / graph.num_nodes:.1f}) — the RMAT skew.")
+
+    banner("Average teenage followers (Figure 2)")
+    compiled = compile_algorithm("avg_teen_cnt")
+    args = {"K": 30}
+    generated = compiled.program.run(graph, args, num_workers=8)
+    manual = MANUAL_PROGRAMS["avg_teen_cnt"].run(graph, args, num_workers=8)
+    print(f"generated: avg = {generated.result:.4f}   {generated.metrics.summary()}")
+    print(f"manual:    avg = {manual.result:.4f}   {manual.metrics.summary()}")
+    assert abs(generated.result - manual.result) < 1e-12
+    assert generated.metrics.messages == manual.metrics.messages
+    print("-> identical result, identical message count (§5.2 parity).")
+
+    banner("PageRank (10 iterations)")
+    compiled = compile_algorithm("pagerank")
+    args = {"e": 1e-9, "d": 0.85, "max_iter": 10}
+    generated = compiled.program.run(graph, args, num_workers=8)
+    manual = MANUAL_PROGRAMS["pagerank"].run(graph, args, num_workers=8)
+    top = sorted(range(graph.num_nodes), key=lambda v: -generated.outputs["pg_rank"][v])[:5]
+    print("top-5 accounts by PageRank:", top)
+    print(f"generated: {generated.metrics.summary()}")
+    print(f"manual:    {manual.metrics.summary()}")
+    assert generated.metrics.message_bytes == manual.metrics.message_bytes
+    ratio = generated.metrics.wall_seconds / manual.metrics.wall_seconds
+    print(f"-> normalized run time {ratio:.2f}x "
+          f"(the paper's Figure 6 band: 0.92x - 1.35x).")
+
+    banner("What the programmer wrote vs what runs")
+    from repro.algorithms.sources import load_source
+    from repro.bench import count_loc
+
+    gm = load_source("pagerank")
+    print(f"Green-Marl source: {count_loc(gm)} lines")
+    print(f"Generated GPS Java: {count_loc(compiled.java_source) if compiled.java_source else 'n/a'} lines"
+          if compiled.java_source else "")
+    full = compile_algorithm("pagerank")  # with Java emission
+    print(f"Generated GPS Java: {count_loc(full.java_source)} lines (Table 2).")
+
+
+if __name__ == "__main__":
+    main()

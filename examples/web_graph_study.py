@@ -1,0 +1,65 @@
+"""Web-graph study using the beyond-paper algorithms.
+
+Demonstrates that the compiler generalizes past the paper's six benchmarks:
+weakly-connected components (simultaneous pushes in both edge directions),
+HITS hubs/authorities (two opposite edge flips per iteration), and degree
+statistics — all written as plain Green-Marl and compiled to Pregel, with
+message combining enabled for the components run.
+
+Run:  python examples/web_graph_study.py
+"""
+
+from collections import Counter
+
+from repro.algorithms import reference
+from repro.compiler import compile_algorithm
+from repro.graphgen import web_like
+
+
+def main() -> None:
+    graph = web_like(2500, avg_degree=7, seed=31)
+    print(f"Web crawl analogue: {graph}")
+
+    # --- connected components, with and without message combining ---------
+    cc = compile_algorithm("connected_components")
+    print()
+    print("Connected components — compiler rules:",
+          ", ".join(sorted(cc.rules.applied)))
+    plain = cc.program.run(graph, num_workers=8)
+    combined = cc.program.run(graph, num_workers=8, use_combiners=True)
+    comp = plain.outputs["comp"]
+    assert comp == combined.outputs["comp"] == reference.connected_components(graph)
+    sizes = Counter(comp)
+    largest = sizes.most_common(1)[0]
+    print(f"{len(sizes)} components; largest has {largest[1]} pages "
+          f"({largest[1] / graph.num_nodes:.0%} of the crawl).")
+    print(f"min-label waves: {plain.metrics.messages} messages plain, "
+          f"{combined.metrics.messages} with combiners "
+          f"({plain.metrics.messages / combined.metrics.messages:.1f}x saved).")
+
+    # --- HITS ---------------------------------------------------------------
+    hits = compile_algorithm("hits")
+    run = hits.program.run(graph, {"max_iter": 8}, num_workers=8)
+    auth, hub = run.outputs["auth"], run.outputs["hub"]
+    ref_auth, ref_hub = reference.hits_l1(graph, 8)
+    assert max(abs(a - b) for a, b in zip(auth, ref_auth)) < 1e-9
+    top_auth = sorted(graph.nodes(), key=lambda v: -auth[v])[:5]
+    top_hub = sorted(graph.nodes(), key=lambda v: -hub[v])[:5]
+    print()
+    print(f"HITS (8 iterations, {run.metrics.supersteps} supersteps):")
+    print(f"  top authorities: {top_auth}")
+    print(f"  top hubs:        {top_hub}")
+    print(f"  authorities are heavily-linked old pages, hubs are link-rich "
+          f"newer ones — the copying model's structure.")
+
+    # --- degree statistics (a message-free Pregel program) -------------------
+    stats = compile_algorithm("degree_stats")
+    run = stats.program.run(graph)
+    print()
+    print(f"Degree stats: avg out-degree {run.result:.2f}, "
+          f"{sum(run.outputs['is_max'])} page(s) at the maximum; "
+          f"{run.metrics.messages} messages sent (pure aggregation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Simplifying Scalable Graph Processing with a
+Domain-Specific Language" (Hong, Salihoglu, Widom, Olukotun; CGO 2014).
+
+The package contains the full system the paper describes, in Python:
+
+* a Green-Marl frontend (``repro.lang``) and reference interpreter
+  (``repro.interp``);
+* the Pregel-canonical transformations of §4.1 (``repro.transform``) and the
+  §3.1 translation rules plus §4.2 optimizations (``repro.translate``);
+* code generation (``repro.codegen``): an executable backend and a GPS-style
+  Java emitter;
+* a GPS/Pregel simulator with message and network-I/O metering
+  (``repro.pregel``);
+* the paper's six algorithms, hand-written Pregel baselines, workload
+  generators and the benchmark harness regenerating every table and figure
+  (``repro.algorithms``, ``repro.graphgen``, ``repro.bench``).
+
+Quick start::
+
+    from repro import compile_source, interpret
+    from repro.graphgen import twitter_like, attach_standard_props
+
+    graph = attach_standard_props(twitter_like(1000, avg_degree=10))
+    compiled = compile_source(open("examples/my_algorithm.gm").read())
+    result = compiled.program.run(graph, {"K": 25})
+"""
+
+from .compiler import CompilationResult, compile_algorithm, compile_procedure, compile_source
+from .interp import interpret
+from .lang import GreenMarlError, NotPregelCanonicalError, parse_procedure, pretty
+from .pregel import Graph, PregelEngine, RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "Graph",
+    "GreenMarlError",
+    "NotPregelCanonicalError",
+    "PregelEngine",
+    "RunMetrics",
+    "compile_algorithm",
+    "compile_procedure",
+    "compile_source",
+    "interpret",
+    "parse_procedure",
+    "pretty",
+    "__version__",
+]

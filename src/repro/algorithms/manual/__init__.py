@@ -1,0 +1,37 @@
+"""Hand-written Pregel baselines — the "native GPS implementations" side of
+the paper's evaluation (Figure 6).
+
+There is deliberately no manual Betweenness Centrality: the paper reports
+that a manual Pregel implementation of BC was prohibitively difficult
+(Table 2 lists it as N/A) — the compiler-generated one is the only
+implementation, which is the paper's headline result.
+"""
+
+from .avg_teen import ManualAvgTeen
+from .base import ManualProgram
+from .bipartite import ManualBipartiteMatching
+from .conductance import ManualConductance
+from .pagerank import ManualPageRank
+from .sssp import ManualSSSP
+
+#: algorithm key -> manual implementation (no entry for bc_approx, see above)
+MANUAL_PROGRAMS: dict[str, ManualProgram] = {
+    p.name: p
+    for p in (
+        ManualAvgTeen(),
+        ManualPageRank(),
+        ManualConductance(),
+        ManualSSSP(),
+        ManualBipartiteMatching(),
+    )
+}
+
+__all__ = [
+    "MANUAL_PROGRAMS",
+    "ManualAvgTeen",
+    "ManualBipartiteMatching",
+    "ManualConductance",
+    "ManualPageRank",
+    "ManualProgram",
+    "ManualSSSP",
+]

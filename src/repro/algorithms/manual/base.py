@@ -1,0 +1,37 @@
+"""Common scaffolding for the hand-written Pregel baselines.
+
+These are the "native GPS implementations" of the paper's evaluation: each
+algorithm written the way a Pregel programmer writes it — explicit
+timestep-based state management inside a single ``compute()`` function,
+hand-chosen message payloads, vote-to-halt where it helps (the paper calls
+out that its generated code does *not* use vote-to-halt; keeping it in the
+manual SSSP reproduces the §5.2 slowdown the authors observed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...codegen.executable import RunResult
+from ...pregel.graph import Graph
+from ...pregel.runtime import PregelEngine
+
+
+@dataclass
+class ManualProgram:
+    """A hand-written Pregel program: a factory producing per-run state."""
+
+    name: str
+
+    def run(self, graph: Graph, args: dict | None = None, **engine_opts) -> RunResult:
+        raise NotImplementedError
+
+
+def finish(engine: PregelEngine, outputs: dict[str, list], fields: dict[str, list]) -> RunResult:
+    metrics = engine.run()
+    return RunResult(metrics, outputs, metrics.result, fields)
+
+
+def fixed_size(n: int) -> Callable[[tuple], int]:
+    return lambda msg: n

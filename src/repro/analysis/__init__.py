@@ -1,0 +1,5 @@
+"""Semantic analyses: access sets, loop classification, canonical check."""
+
+from .canonical import Violation, check_canonical
+
+__all__ = ["Violation", "check_canonical"]

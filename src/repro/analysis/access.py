@@ -1,0 +1,234 @@
+"""Read/write-set analysis over Green-Marl ASTs.
+
+This is the dataflow machinery behind the paper's translation rules: deciding
+which variables are *outer-loop scoped* (and hence become message payload),
+which inner-loop statements *modify* outer-scoped state (and hence require the
+Edge-Flipping / Dissection transformations), and which scalars are reduced
+into global objects.
+
+Accesses are name-based descriptors; the passes re-run the type checker after
+each rewrite, so expression ``type`` annotations are always available (needed
+to distinguish edge-property from node-property reads).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..lang.ast import (
+    Assign,
+    Bfs,
+    Block,
+    DeferredAssign,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    MethodCall,
+    PropAccess,
+    ReduceAssign,
+    ReduceExpr,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+)
+
+
+class AccessKind(enum.Enum):
+    SCALAR = "scalar"        # bare identifier value (incl. node variables)
+    PROP = "prop"            # var.prop, var of Node type
+    EDGE_PROP = "edge_prop"  # var.prop, var of Edge type
+    METHOD = "method"        # var.Method(), e.g. w.Degree()
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    kind: AccessKind
+    var: str
+    member: str | None = None
+
+    def __str__(self) -> str:
+        if self.kind is AccessKind.SCALAR:
+            return self.var
+        suffix = "()" if self.kind is AccessKind.METHOD else ""
+        return f"{self.var}.{self.member}{suffix}"
+
+
+def expr_reads(expr: Expr) -> list[Access]:
+    """All value reads performed by ``expr``, in evaluation order."""
+    out: list[Access] = []
+    _expr_reads(expr, out)
+    return out
+
+
+def _expr_reads(expr: Expr, out: list[Access]) -> None:
+    from ..lang.ast import Binary, Cast, Ternary, Unary  # local to avoid cycle noise
+
+    if isinstance(expr, Ident):
+        out.append(Access(AccessKind.SCALAR, expr.name))
+    elif isinstance(expr, PropAccess):
+        if isinstance(expr.target, Ident):
+            target_type = expr.target.type
+            if target_type is not None and target_type.is_edge():
+                out.append(Access(AccessKind.EDGE_PROP, expr.target.name, expr.prop))
+            else:
+                out.append(Access(AccessKind.PROP, expr.target.name, expr.prop))
+        else:
+            _expr_reads(expr.target, out)
+    elif isinstance(expr, MethodCall):
+        if isinstance(expr.target, Ident):
+            out.append(Access(AccessKind.METHOD, expr.target.name, expr.name))
+        else:
+            _expr_reads(expr.target, out)
+        for arg in expr.args:
+            _expr_reads(arg, out)
+    elif isinstance(expr, Unary):
+        _expr_reads(expr.operand, out)
+    elif isinstance(expr, Binary):
+        _expr_reads(expr.lhs, out)
+        _expr_reads(expr.rhs, out)
+    elif isinstance(expr, Ternary):
+        _expr_reads(expr.cond, out)
+        _expr_reads(expr.then, out)
+        _expr_reads(expr.other, out)
+    elif isinstance(expr, Cast):
+        _expr_reads(expr.operand, out)
+    elif isinstance(expr, ReduceExpr):
+        _expr_reads(expr.source.driver, out)
+        if expr.filter is not None:
+            _expr_reads(expr.filter, out)
+        if expr.body is not None:
+            _expr_reads(expr.body, out)
+    # literals: nothing
+
+
+def lvalue_access(target: Expr) -> Access:
+    """The access descriptor for an assignment target."""
+    if isinstance(target, Ident):
+        return Access(AccessKind.SCALAR, target.name)
+    if isinstance(target, PropAccess) and isinstance(target.target, Ident):
+        target_type = target.target.type
+        if target_type is not None and target_type.is_edge():
+            return Access(AccessKind.EDGE_PROP, target.target.name, target.prop)
+        return Access(AccessKind.PROP, target.target.name, target.prop)
+    raise ValueError(f"unsupported assignment target {type(target).__name__}")
+
+
+def stmt_writes(stmt: Stmt, *, recursive: bool = True) -> list[Access]:
+    """All writes performed by ``stmt`` (including nested statements when
+    ``recursive``)."""
+    out: list[Access] = []
+    _stmt_writes(stmt, out, recursive)
+    return out
+
+
+def _stmt_writes(stmt: Stmt, out: list[Access], recursive: bool) -> None:
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            for name in stmt.names:
+                out.append(Access(AccessKind.SCALAR, name))
+    elif isinstance(stmt, (Assign, ReduceAssign, DeferredAssign)):
+        out.append(lvalue_access(stmt.target))
+    elif recursive:
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                _stmt_writes(s, out, recursive)
+        elif isinstance(stmt, If):
+            _stmt_writes(stmt.then, out, recursive)
+            if stmt.other is not None:
+                _stmt_writes(stmt.other, out, recursive)
+        elif isinstance(stmt, (While, Foreach)):
+            _stmt_writes(stmt.body, out, recursive)
+        elif isinstance(stmt, Bfs):
+            _stmt_writes(stmt.body, out, recursive)
+            if stmt.reverse_body is not None:
+                _stmt_writes(stmt.reverse_body, out, recursive)
+
+
+def stmt_reads(stmt: Stmt, *, recursive: bool = True) -> list[Access]:
+    """All value reads performed by ``stmt``.
+
+    Reduce-assignments read their own target (read-modify-write); plain and
+    deferred assignments do not.
+    """
+    out: list[Access] = []
+    _stmt_reads(stmt, out, recursive)
+    return out
+
+
+def _stmt_reads(stmt: Stmt, out: list[Access], recursive: bool) -> None:
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            _expr_reads(stmt.init, out)
+    elif isinstance(stmt, Assign):
+        _lvalue_target_reads(stmt.target, out)
+        _expr_reads(stmt.expr, out)
+    elif isinstance(stmt, ReduceAssign):
+        out.append(lvalue_access(stmt.target))
+        _lvalue_target_reads(stmt.target, out)
+        _expr_reads(stmt.expr, out)
+    elif isinstance(stmt, DeferredAssign):
+        _lvalue_target_reads(stmt.target, out)
+        _expr_reads(stmt.expr, out)
+    elif isinstance(stmt, Return):
+        if stmt.expr is not None:
+            _expr_reads(stmt.expr, out)
+    elif isinstance(stmt, If):
+        _expr_reads(stmt.cond, out)
+        if recursive:
+            _stmt_reads(stmt.then, out, recursive)
+            if stmt.other is not None:
+                _stmt_reads(stmt.other, out, recursive)
+    elif isinstance(stmt, While):
+        _expr_reads(stmt.cond, out)
+        if recursive:
+            _stmt_reads(stmt.body, out, recursive)
+    elif isinstance(stmt, Foreach):
+        _expr_reads(stmt.source.driver, out)
+        if stmt.filter is not None:
+            _expr_reads(stmt.filter, out)
+        if recursive:
+            _stmt_reads(stmt.body, out, recursive)
+    elif isinstance(stmt, Bfs):
+        _expr_reads(stmt.source.driver, out)
+        _expr_reads(stmt.root, out)
+        for filt in (stmt.filter, stmt.reverse_filter):
+            if filt is not None:
+                _expr_reads(filt, out)
+        if recursive:
+            _stmt_reads(stmt.body, out, recursive)
+            if stmt.reverse_body is not None:
+                _stmt_reads(stmt.reverse_body, out, recursive)
+    elif isinstance(stmt, Block):
+        if recursive:
+            for s in stmt.stmts:
+                _stmt_reads(s, out, recursive)
+
+
+def _lvalue_target_reads(target: Expr, out: list[Access]) -> None:
+    """Writing ``v.prop`` reads the handle ``v`` (it determines the write's
+    destination — crucial for random-write detection)."""
+    if isinstance(target, PropAccess) and isinstance(target.target, Ident):
+        out.append(Access(AccessKind.SCALAR, target.target.name))
+
+
+def declared_names(block: Block) -> set[str]:
+    """Names declared directly in ``block`` (descending through If arms but
+    not into loop bodies, which open their own scopes)."""
+    names: set[str] = set()
+    _declared_names(block, names)
+    return names
+
+
+def _declared_names(block: Block, names: set[str]) -> None:
+    for stmt in block.stmts:
+        if isinstance(stmt, VarDecl):
+            names.update(stmt.names)
+        elif isinstance(stmt, If):
+            _declared_names(stmt.then, names)
+            if stmt.other is not None:
+                _declared_names(stmt.other, names)
+        elif isinstance(stmt, Block):
+            _declared_names(stmt, names)

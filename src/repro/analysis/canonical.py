@@ -1,0 +1,275 @@
+"""Pregel-canonical form checker (§3.2).
+
+A Green-Marl program is *Pregel-canonical* when it consists only of the
+patterns of §3.1, so the translator can map it to a Pregel program directly.
+This module verifies the five conditions of §3.2 (plus the bookkeeping
+conditions implied by the translation rules) and reports precise violations;
+the compilation pipeline raises :class:`NotPregelCanonicalError` when any
+remain after the §4.1 transformations have run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import (
+    Assign,
+    Bfs,
+    Block,
+    DeferredAssign,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    IterKind,
+    MethodCall,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    ReduceExpr,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+    walk,
+)
+from ..lang.errors import Span
+from ..analysis.access import AccessKind, expr_reads
+from ..analysis.loops import classify_inner_loop
+
+
+@dataclass(frozen=True)
+class Violation:
+    message: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.span}: {self.message}"
+
+
+class CanonicalChecker:
+    def __init__(self, proc: Procedure):
+        self._proc = proc
+        self.violations: list[Violation] = []
+
+    def _flag(self, message: str, span: Span) -> None:
+        self.violations.append(Violation(message, span))
+
+    # -- entry ------------------------------------------------------------------
+
+    def check(self) -> list[Violation]:
+        self._check_sequential_block(self._proc.body)
+        for node in walk(self._proc.body):
+            if isinstance(node, ReduceExpr):
+                self._flag(
+                    "reduction expression survived normalization (internal error)",
+                    node.span,
+                )
+            if isinstance(node, Bfs):
+                self._flag("InBFS survived BFS lowering (internal error)", node.span)
+            if isinstance(node, Foreach) and node.source.kind in (
+                IterKind.UP_NBRS,
+                IterKind.DOWN_NBRS,
+            ):
+                self._flag(
+                    "UpNbrs/DownNbrs iteration outside a BFS context", node.span
+                )
+        return self.violations
+
+    # -- sequential phase --------------------------------------------------------
+
+    def _check_sequential_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, Foreach):
+                if not stmt.parallel:
+                    self._flag(
+                        "sequential For loops over graph elements cannot be "
+                        "translated to Pregel",
+                        stmt.span,
+                    )
+                    continue
+                if stmt.source.kind is not IterKind.NODES:
+                    self._flag(
+                        "a top-level parallel loop must iterate over G.Nodes",
+                        stmt.span,
+                    )
+                    continue
+                self._check_vertex_loop(stmt)
+            elif isinstance(stmt, If):
+                self._check_sequential_expr(stmt.cond)
+                self._check_sequential_block(stmt.then)
+                if stmt.other is not None:
+                    self._check_sequential_block(stmt.other)
+            elif isinstance(stmt, While):
+                self._check_sequential_expr(stmt.cond)
+                self._check_sequential_block(stmt.body)
+            elif isinstance(stmt, (Assign, ReduceAssign, DeferredAssign)):
+                if isinstance(stmt.target, PropAccess):
+                    self._flag(
+                        "property write in a sequential phase (Random Access rule "
+                        "did not fire — is the target a graph or edge?)",
+                        stmt.span,
+                    )
+                self._check_sequential_expr(stmt.expr)
+            elif isinstance(stmt, VarDecl):
+                if stmt.init is not None:
+                    self._check_sequential_expr(stmt.init)
+            elif isinstance(stmt, Return):
+                if stmt.expr is not None:
+                    self._check_sequential_expr(stmt.expr)
+            elif isinstance(stmt, Block):
+                self._check_sequential_block(stmt)
+            else:
+                self._flag(
+                    f"{type(stmt).__name__} is not allowed in a sequential phase",
+                    stmt.span,
+                )
+
+    def _check_sequential_expr(self, expr: Expr) -> None:
+        for access in expr_reads(expr):
+            if access.kind in (AccessKind.PROP, AccessKind.EDGE_PROP):
+                self._flag(
+                    f"random read of '{access}' in a sequential phase "
+                    "(§3.2: random reading of vertex properties is not allowed)",
+                    expr.span,
+                )
+            if access.kind is AccessKind.METHOD and access.member in (
+                "Degree",
+                "InDegree",
+                "OutDegree",
+                "NumNbrs",
+            ):
+                self._flag(
+                    f"degree query '{access}' in a sequential phase requires "
+                    "random access",
+                    expr.span,
+                )
+
+    # -- vertex-parallel phase ---------------------------------------------------
+
+    def _check_vertex_loop(self, outer: Foreach) -> None:
+        if outer.filter is not None:
+            self._check_vertex_expr(outer.filter, outer, inner=None)
+        self._check_vertex_block(outer.body, outer)
+
+    def _check_vertex_block(self, block: Block, outer: Foreach) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, Foreach):
+                self._check_inner_loop(outer, stmt)
+            elif isinstance(stmt, If):
+                self._check_vertex_expr(stmt.cond, outer, inner=None)
+                self._check_vertex_block(stmt.then, outer)
+                if stmt.other is not None:
+                    self._check_vertex_block(stmt.other, outer)
+            elif isinstance(stmt, (Assign, ReduceAssign, DeferredAssign)):
+                self._check_vertex_write(stmt, outer)
+                self._check_vertex_expr(stmt.expr, outer, inner=None)
+            elif isinstance(stmt, VarDecl):
+                if stmt.init is not None:
+                    self._check_vertex_expr(stmt.init, outer, inner=None)
+            elif isinstance(stmt, Return):
+                self._flag(
+                    "Return inside a parallel loop is not allowed (§3.2)", stmt.span
+                )
+            elif isinstance(stmt, While):
+                self._flag(
+                    "While inside a parallel loop cannot be translated", stmt.span
+                )
+            elif isinstance(stmt, Block):
+                self._check_vertex_block(stmt, outer)
+            else:
+                self._flag(
+                    f"{type(stmt).__name__} not allowed in a vertex-parallel phase",
+                    stmt.span,
+                )
+
+    def _check_vertex_write(self, stmt: Stmt, outer: Foreach) -> None:
+        assert isinstance(stmt, (Assign, ReduceAssign, DeferredAssign))
+        target = stmt.target
+        if isinstance(target, PropAccess) and isinstance(target.target, Ident):
+            if (
+                target.target.type is not None
+                and target.target.type.is_edge()
+            ):
+                self._flag("edge properties are read-only", stmt.span)
+
+    def _check_vertex_expr(self, expr: Expr, outer: Foreach, inner: Foreach | None) -> None:
+        """Reads at the vertex level may touch the iterators' own properties
+        and scalars; reading another vertex's property is a random read."""
+        allowed = {outer.iterator}
+        if inner is not None:
+            allowed.add(inner.iterator)
+        for access in expr_reads(expr):
+            if access.kind is AccessKind.PROP and access.var not in allowed:
+                self._flag(
+                    f"random read of '{access}' in a vertex-parallel phase "
+                    "(§3.2: random reading is not allowed)",
+                    expr.span,
+                )
+
+    def _check_inner_loop(self, outer: Foreach, inner: Foreach) -> None:
+        if inner.source.kind is IterKind.NODES:
+            self._flag(
+                "the inner loop of a doubly-nested parallel loop must iterate "
+                "over the outer iterator's neighbors (§3.2)",
+                inner.span,
+            )
+            return
+        driver = inner.source.driver
+        if not (isinstance(driver, Ident) and driver.name == outer.iterator):
+            self._flag(
+                "inner loop must iterate over the outer iterator's neighborhood",
+                inner.span,
+            )
+            return
+        report = classify_inner_loop(outer, inner)
+        if report.is_pull:
+            targets = report.outer_prop_writes + report.outer_scalar_writes
+            self._flag(
+                f"message pulling: inner loop modifies outer-scoped {sorted(set(targets))} "
+                "(§3.2: neighbors may not modify the iterating vertex's values)",
+                inner.span,
+            )
+        if report.random_writes:
+            self._flag(
+                "random writes inside an inner neighborhood loop are not "
+                "translatable; move them to the vertex level",
+                inner.span,
+            )
+        self._check_edge_usage(outer, inner)
+        if inner.filter is not None:
+            self._check_vertex_expr(inner.filter, outer, inner)
+        for node in walk(inner.body):
+            if isinstance(node, Expr):
+                pass  # reads checked via statements below
+        for stmt in inner.body.stmts:
+            if isinstance(stmt, (Assign, ReduceAssign, DeferredAssign)):
+                self._check_vertex_expr(stmt.expr, outer, inner)
+
+    def _check_edge_usage(self, outer: Foreach, inner: Foreach) -> None:
+        """Edge properties may only be accessed through the source vertex —
+        i.e. via ``t.ToEdge()`` where t iterates *out*-neighbors (§3.1)."""
+        for node in walk(inner.body):
+            if isinstance(node, MethodCall) and node.name == "ToEdge":
+                target = node.target
+                valid_iterator = (
+                    isinstance(target, Ident) and target.name == inner.iterator
+                )
+                if not valid_iterator:
+                    self._flag(
+                        "ToEdge() may only be called on the inner neighborhood "
+                        "iterator",
+                        node.span,
+                    )
+                elif inner.source.kind is not IterKind.NBRS:
+                    self._flag(
+                        "edge properties are only accessible while iterating "
+                        "outgoing neighbors (the edge belongs to its source "
+                        "vertex, §3.1)",
+                        node.span,
+                    )
+
+
+def check_canonical(proc: Procedure) -> list[Violation]:
+    """All §3.2 violations in ``proc`` (empty = Pregel-canonical)."""
+    return CanonicalChecker(proc).check()

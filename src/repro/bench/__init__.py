@@ -1,0 +1,29 @@
+"""Benchmark harness: experiment runners, LoC accounting, table rendering."""
+
+from .harness import (
+    FIGURE6_ALGORITHMS,
+    Measurement,
+    PairResult,
+    bc_experiments,
+    default_args,
+    figure6_experiments,
+    run_pair,
+)
+from .loc import PAPER_TABLE2, LocRow, count_loc, table2_rows
+from .tables import render_check_matrix, render_table
+
+__all__ = [
+    "FIGURE6_ALGORITHMS",
+    "Measurement",
+    "PAPER_TABLE2",
+    "PairResult",
+    "LocRow",
+    "bc_experiments",
+    "count_loc",
+    "default_args",
+    "figure6_experiments",
+    "render_check_matrix",
+    "render_table",
+    "run_pair",
+    "table2_rows",
+]

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (markdown-ish, pipe-separated)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "N/A"
+    return str(value)
+
+
+def render_check_matrix(
+    row_names: Sequence[str], col_names: Sequence[str], marks: dict[str, dict[str, bool]]
+) -> str:
+    """Render a Table 3-style check matrix: rows = rules, cols = algorithms."""
+    headers = ["Transformation"] + list(col_names)
+    rows = []
+    for rule in row_names:
+        rows.append(
+            [rule] + ["x" if marks[col].get(rule, False) else "" for col in col_names]
+        )
+    return render_table(headers, rows)

@@ -1,0 +1,199 @@
+"""Command-line interface: ``gm-pregel`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``compile FILE.gm`` — run the full pipeline; ``--emit`` selects the
+  artifact to print (java, canonical Green-Marl, the state machine, or the
+  executable Python vertex program);
+* ``run FILE.gm`` — compile and execute on a generated graph, printing
+  outputs and run metrics;
+* ``interp FILE.gm`` — execute under the shared-memory reference semantics;
+* ``bench`` — regenerate the paper's tables/figure on the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .compiler import compile_source
+from .graphgen.registry import TABLE1, load_graph
+from .interp import interpret
+from .lang.errors import GreenMarlError
+
+
+def _parse_value(text: str):
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def _parse_args_list(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--arg expects name=value, got '{pair}'")
+        name, value = pair.split("=", 1)
+        out[name] = _parse_value(value)
+    return out
+
+
+def _cmd_compile(ns: argparse.Namespace) -> int:
+    source = Path(ns.file).read_text()
+    result = compile_source(
+        source,
+        state_merging=not ns.no_state_merging,
+        intra_loop_merging=not ns.no_intra_loop,
+    )
+    if ns.emit == "java":
+        print(result.java_source)
+    elif ns.emit == "canonical":
+        print(result.canonical_source)
+    elif ns.emit == "states":
+        print(result.ir.describe())
+        print()
+        print("applied rules:", ", ".join(sorted(result.rules.applied)))
+    elif ns.emit == "python":
+        print(result.program.vertex_source)
+    return 0
+
+
+def _load_cli_graph(ns: argparse.Namespace):
+    if ns.graph_file:
+        from .graphgen.io import load_edge_list
+
+        return load_edge_list(ns.graph_file)
+    return load_graph(ns.graph, ns.scale, ns.seed)
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    source = Path(ns.file).read_text()
+    graph = _load_cli_graph(ns)
+    result = compile_source(source, emit_java=False)
+    args = _parse_args_list(ns.arg)
+    run = result.program.run(graph, args, num_workers=ns.workers, seed=ns.seed)
+    print(f"graph: {graph}")
+    print(f"metrics: {run.metrics.summary()}")
+    if run.result is not None:
+        print(f"result: {run.result}")
+    for name, column in run.outputs.items():
+        preview = ", ".join(str(v) for v in column[:8])
+        print(f"output {name}: [{preview}{', ...' if len(column) > 8 else ''}]")
+    return 0
+
+
+def _cmd_interp(ns: argparse.Namespace) -> int:
+    source = Path(ns.file).read_text()
+    graph = _load_cli_graph(ns)
+    args = _parse_args_list(ns.arg)
+    result = interpret(source, graph, args, seed=ns.seed)
+    if result.result is not None:
+        print(f"result: {result.result}")
+    for name, column in result.outputs.items():
+        preview = ", ".join(str(v) for v in column[:8])
+        print(f"output {name}: [{preview}{', ...' if len(column) > 8 else ''}]")
+    return 0
+
+
+def _cmd_bench(ns: argparse.Namespace) -> int:
+    from .bench import figure6_experiments, render_table, table2_rows
+    from .bench.tables import render_check_matrix
+    from .compiler import compile_algorithm
+    from .algorithms.sources import ALGORITHMS
+    from .transform.pipeline import TABLE3_ROWS
+
+    print("== Table 2: lines of code ==")
+    rows = table2_rows()
+    print(
+        render_table(
+            ["Algorithm", "GM", "GM(paper)", "Java(gen)", "GPS(paper)"],
+            [
+                [r.display, r.green_marl, r.paper_green_marl, r.generated_java, r.paper_gps]
+                for r in rows
+            ],
+        )
+    )
+    print()
+    print("== Table 3: applied transformations ==")
+    marks = {name: compile_algorithm(name, emit_java=False).rule_row() for name in ALGORITHMS}
+    print(render_check_matrix(TABLE3_ROWS, list(ALGORITHMS), marks))
+    print()
+    print(f"== Figure 6: generated vs manual (scale={ns.scale}) ==")
+    results = figure6_experiments(ns.scale, repeats=ns.repeats)
+    print(
+        render_table(
+            ["Algorithm", "Graph", "Norm. runtime", "Δ timesteps", "msgs gen", "msgs man"],
+            [
+                [
+                    r.algorithm,
+                    r.graph,
+                    r.normalized_runtime,
+                    r.timestep_delta,
+                    r.generated.messages,
+                    r.manual.messages if r.manual else None,
+                ]
+                for r in results
+            ],
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gm-pregel",
+        description="Green-Marl → Pregel compiler (CGO 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a .gm file and print an artifact")
+    p_compile.add_argument("file")
+    p_compile.add_argument(
+        "--emit",
+        choices=("java", "canonical", "states", "python"),
+        default="states",
+    )
+    p_compile.add_argument("--no-state-merging", action="store_true")
+    p_compile.add_argument("--no-intra-loop", action="store_true")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    for name, fn in (("run", _cmd_run), ("interp", _cmd_interp)):
+        p = sub.add_parser(name, help=f"{name} a .gm file on a graph")
+        p.add_argument("file")
+        p.add_argument("--graph", choices=tuple(TABLE1), default="twitter")
+        p.add_argument("--graph-file", help="edge-list file instead of a generator")
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seed", type=int, default=17)
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument(
+            "--arg", action="append", default=[], help="procedure argument name=value"
+        )
+        p.set_defaults(fn=fn)
+
+    p_bench = sub.add_parser("bench", help="regenerate the paper's tables")
+    p_bench.add_argument("--scale", type=float, default=0.5)
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    ns = parser.parse_args(argv)
+    try:
+        return ns.fn(ns)
+    except GreenMarlError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

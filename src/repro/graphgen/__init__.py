@@ -1,0 +1,25 @@
+"""Workload generators and the Table 1 graph registry."""
+
+from .generators import (
+    attach_standard_props,
+    bipartite,
+    twitter_like,
+    uniform_random,
+    web_like,
+)
+from .io import load_edge_list, save_edge_list
+from .registry import TABLE1, GraphSpec, applicable_graphs, load_graph
+
+__all__ = [
+    "TABLE1",
+    "GraphSpec",
+    "applicable_graphs",
+    "attach_standard_props",
+    "bipartite",
+    "load_edge_list",
+    "load_graph",
+    "save_edge_list",
+    "twitter_like",
+    "uniform_random",
+    "web_like",
+]

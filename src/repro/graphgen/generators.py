@@ -1,0 +1,136 @@
+"""Synthetic graph generators — scaled-down analogues of Table 1's inputs.
+
+The paper evaluates on three billion-edge graphs we cannot host:
+
+* **Twitter** (42M nodes / 1.5B edges) — a follower network with a heavily
+  skewed in/out-degree distribution → :func:`twitter_like`, an RMAT
+  (Kronecker) generator, the standard model for social-network skew;
+* **Bipartite** (75M / 1.5B, uniform random) → :func:`bipartite`, uniform
+  random left→right edges;
+* **sk-2005** (51M / 1.9B) — a web crawl with strong locality and very dense
+  host-local clusters → :func:`web_like`, a copying/preferential-attachment
+  model producing locality and skew.
+
+Shape — degree skew, bipartiteness, locality — is what drives Pregel
+behaviour (frontier growth, message volume, load imbalance); absolute scale
+only multiplies it.  Every generator takes ``num_nodes`` / ``avg_degree`` so
+experiments can sweep scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..pregel.graph import Graph
+
+
+def uniform_random(num_nodes: int, num_edges: int, *, seed: int = 1) -> Graph:
+    """Uniform random directed multigraph-free edge set (Erdős–Rényi G(n, m))."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a != b:
+            edges.add((a, b))
+    return Graph.from_edges(num_nodes, sorted(edges))
+
+
+def twitter_like(
+    num_nodes: int,
+    avg_degree: int = 16,
+    *,
+    seed: int = 1,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> Graph:
+    """RMAT/Kronecker generator with the classic (a, b, c, d) = (.57, .19,
+    .19, .05) parameters, yielding the power-law degree skew of follower
+    networks."""
+    rng = random.Random(seed)
+    scale = max(1, (num_nodes - 1).bit_length())
+    size = 1 << scale
+    target_edges = num_nodes * avg_degree
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = target_edges * 20
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        src = dst = 0
+        for _ in range(scale):
+            r = rng.random()
+            src <<= 1
+            dst <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                dst |= 1
+            elif r < a + b + c:
+                src |= 1
+            else:
+                src |= 1
+                dst |= 1
+        src %= num_nodes
+        dst %= num_nodes
+        if src != dst:
+            edges.add((src, dst))
+    return Graph.from_edges(num_nodes, sorted(edges))
+
+
+def web_like(num_nodes: int, avg_degree: int = 16, *, seed: int = 1, locality: float = 0.8) -> Graph:
+    """Copying-model web graph: each new page links to recent (local) pages
+    with probability ``locality``, otherwise copies a link target of one of
+    its local predecessors — producing host-like locality plus a skewed
+    in-degree tail, the structure of crawls like sk-2005."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    # Link targets seen so far; sampling from this list is preferential
+    # attachment (popular pages accumulate in-links, as in real crawls).
+    targets: list[int] = [0]
+    window = max(4, num_nodes // 50)
+    for v in range(1, num_nodes):
+        out_deg = max(1, int(rng.expovariate(1.0 / avg_degree)))
+        for _ in range(out_deg):
+            if rng.random() < locality:
+                t = rng.randrange(max(0, v - window), v)
+            else:
+                t = targets[rng.randrange(len(targets))]
+            if t != v and (v, t) not in edges:
+                edges.add((v, t))
+                targets.append(t)
+                # web graphs are locally reciprocal: site navigation links
+                if rng.random() < 0.25 and (t, v) not in edges:
+                    edges.add((t, v))
+    return Graph.from_edges(num_nodes, sorted(edges))
+
+
+def bipartite(
+    num_left: int, num_right: int, num_edges: int, *, seed: int = 1
+) -> Graph:
+    """Uniform random bipartite graph; edges run left→right, with the
+    ``is_left`` node property attached (as the paper's matching input)."""
+    rng = random.Random(seed)
+    total = num_left + num_right
+    edges: set[tuple[int, int]] = set()
+    max_possible = num_left * num_right
+    target = min(num_edges, max_possible)
+    while len(edges) < target:
+        a = rng.randrange(num_left)
+        b = num_left + rng.randrange(num_right)
+        edges.add((a, b))
+    graph = Graph.from_edges(total, sorted(edges))
+    graph.add_node_prop("is_left", [v < num_left for v in range(total)])
+    return graph
+
+
+def attach_standard_props(graph: Graph, *, seed: int = 2) -> Graph:
+    """Attach the node/edge properties the six algorithms consume: ``age``
+    (for AvgTeen), ``member`` (for conductance), and the ``len`` edge weight
+    (for SSSP)."""
+    rng = random.Random(seed)
+    n = graph.num_nodes
+    graph.add_node_prop("age", [rng.randrange(8, 70) for _ in range(n)])
+    graph.add_node_prop("member", [int(rng.random() < 0.3) for _ in range(n)])
+    graph.add_edge_prop_csr("len", [rng.randrange(1, 16) for _ in range(graph.num_edges)])
+    return graph

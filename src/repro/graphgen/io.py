@@ -1,0 +1,82 @@
+"""Edge-list I/O: the interchange format for graphs and their properties.
+
+Format (whitespace-separated, ``#`` comments):
+
+    # nodes: N
+    src dst [edge-prop values...]
+
+Node properties are stored in sidecar files (``<base>.prop.<name>``), one
+value per line in vertex order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..pregel.graph import Graph
+
+
+def save_edge_list(graph: Graph, path: str | Path, *, edge_props: list[str] | None = None) -> None:
+    path = Path(path)
+    names = edge_props if edge_props is not None else sorted(graph.edge_props)
+    with path.open("w") as fh:
+        fh.write(f"# nodes: {graph.num_nodes}\n")
+        if names:
+            fh.write(f"# edge-props: {' '.join(names)}\n")
+        for v in graph.nodes():
+            for pos in graph.out_edge_range(v):
+                row = [str(v), str(graph.out_targets[pos])]
+                row.extend(str(graph.edge_props[name][pos]) for name in names)
+                fh.write(" ".join(row) + "\n")
+    for name, values in graph.node_props.items():
+        side = path.with_suffix(path.suffix + f".prop.{name}")
+        with side.open("w") as fh:
+            fh.writelines(f"{_fmt(v)}\n" for v in values)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def load_edge_list(path: str | Path) -> Graph:
+    path = Path(path)
+    num_nodes: int | None = None
+    prop_names: list[str] = []
+    edges: list[tuple[int, int]] = []
+    prop_values: list[list[float]] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("nodes:"):
+                    num_nodes = int(body.split(":", 1)[1])
+                elif body.startswith("edge-props:"):
+                    prop_names = body.split(":", 1)[1].split()
+                continue
+            parts = line.split()
+            src, dst = int(parts[0]), int(parts[1])
+            edges.append((src, dst))
+            prop_values.append([_parse(x) for x in parts[2:]])
+    if num_nodes is None:
+        num_nodes = 1 + max((max(s, d) for s, d in edges), default=-1)
+    edge_props = {
+        name: [row[i] for row in prop_values] for i, name in enumerate(prop_names)
+    }
+    graph = Graph.from_edges(num_nodes, edges, edge_props=edge_props or None)
+    for side in path.parent.glob(path.name + ".prop.*"):
+        name = side.name.rsplit(".prop.", 1)[1]
+        values = [_parse(line.strip()) for line in side.read_text().splitlines() if line.strip()]
+        graph.add_node_prop(name, values)
+    return graph
+
+
+def _parse(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)

@@ -1,0 +1,5 @@
+"""Shared-memory reference interpreter for Green-Marl."""
+
+from .evaluator import InterpResult, Interpreter, interpret
+
+__all__ = ["InterpResult", "Interpreter", "interpret"]

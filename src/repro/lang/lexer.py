@@ -1,0 +1,182 @@
+"""Hand-written lexer for Green-Marl.
+
+The lexer is a straightforward single-pass scanner.  Two Green-Marl-specific
+wrinkles are handled here rather than in the parser:
+
+* ``min=`` / ``max=`` reduction-assignment operators: the identifiers ``min``
+  and ``max`` immediately followed by a single ``=`` lex as one token.
+* ``|`` is emitted as :data:`TokenKind.BAR` (the absolute-value delimiter,
+  as used by PageRank's ``|val - t.pg_rank|``); ``||`` is logical or.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, Span
+from .tokens import KEYWORDS, Token, TokenKind
+
+_SINGLE_CHAR: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "@": TokenKind.AT,
+    "?": TokenKind.QUESTION,
+    "%": TokenKind.PERCENT,
+}
+
+
+class Lexer:
+    """Tokenizes a Green-Marl source string."""
+
+    def __init__(self, source: str):
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- scanning machinery -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._src[idx] if idx < len(self._src) else ""
+
+    def _advance(self) -> str:
+        ch = self._src[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = Span.point(self._line, self._col)
+                self._advance()
+                self._advance()
+                while True:
+                    if self._pos >= len(self._src):
+                        raise LexError("unterminated block comment", start)
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _make(self, kind: TokenKind, text: str, line: int, col: int) -> Token:
+        return Token(kind, text, Span(line, col, self._line, self._col))
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        if self._pos >= len(self._src):
+            return self._make(TokenKind.EOF, "", line, col)
+
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, col)
+        if ch.isdigit():
+            return self._number(line, col)
+        return self._operator(line, col)
+
+    def _identifier(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._src[start : self._pos]
+        # `min=` / `max=` reduction assignment (but not `min==`).
+        if text in ("min", "max") and self._peek() == "=" and self._peek(1) != "=":
+            self._advance()
+            kind = TokenKind.MIN_ASSIGN if text == "min" else TokenKind.MAX_ASSIGN
+            return self._make(kind, text + "=", line, col)
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return self._make(kind, text, line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._pos < len(self._src) and self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._pos < len(self._src) and self._peek().isdigit():
+                self._advance()
+        text = self._src[start : self._pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return self._make(kind, text, line, col)
+
+    def _operator(self, line: int, col: int) -> Token:
+        ch = self._advance()
+        nxt = self._peek()
+        two = ch + nxt
+        two_char = {
+            "==": TokenKind.EQ,
+            "!=": TokenKind.NEQ,
+            "<=": TokenKind.LE,
+            ">=": TokenKind.GE,
+            "&&": TokenKind.AND_OP,
+            "||": TokenKind.OR_OP,
+            "+=": TokenKind.PLUS_ASSIGN,
+            "*=": TokenKind.TIMES_ASSIGN,
+            "&=": TokenKind.AND_ASSIGN,
+            "|=": TokenKind.OR_ASSIGN,
+            "++": TokenKind.INCR,
+        }
+        if two in two_char:
+            self._advance()
+            return self._make(two_char[two], two, line, col)
+        one_char = {
+            "=": TokenKind.ASSIGN,
+            "+": TokenKind.PLUS,
+            "-": TokenKind.MINUS,
+            "*": TokenKind.STAR,
+            "/": TokenKind.SLASH,
+            "<": TokenKind.LT,
+            ">": TokenKind.GT,
+            "!": TokenKind.NOT,
+            "|": TokenKind.BAR,
+        }
+        if ch in one_char:
+            return self._make(one_char[ch], ch, line, col)
+        if ch in _SINGLE_CHAR:
+            return self._make(_SINGLE_CHAR[ch], ch, line, col)
+        raise LexError(f"unexpected character {ch!r}", Span.point(line, col))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list ending in EOF."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,600 @@
+"""Recursive-descent parser for the Green-Marl subset of the paper.
+
+The grammar covers every construct used by the paper's six algorithms
+(Figures 2 and 4 and the Appendix programs): procedures with input/output
+parameter lists, scalar and property declarations, parallel ``Foreach`` with
+filters, ``InBFS``/``InReverse`` traversals, ``While``/``Do-While``, reduction
+assignments (``+=``, ``min=``, ``&=`` …), deferred assignments (``<=``),
+reduction expressions (``Sum``, ``Count``, ``Exist`` …), graph/node built-in
+methods, casts, the ternary operator and the ``|e|`` absolute-value form.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import (
+    Assign,
+    Bfs,
+    BinOp,
+    Block,
+    BoolLit,
+    Cast,
+    DeferredAssign,
+    Expr,
+    FloatLit,
+    Foreach,
+    Ident,
+    If,
+    InfLit,
+    IntLit,
+    IterKind,
+    IterSource,
+    MethodCall,
+    NilLit,
+    Param,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    ReduceExpr,
+    ReduceOp,
+    Return,
+    Stmt,
+    Ternary,
+    Unary,
+    UnOp,
+    VarDecl,
+    While,
+)
+from .errors import ParseError, Span
+from .lexer import tokenize
+from .tokens import TYPE_KEYWORDS, Token, TokenKind
+from . import types as ty
+
+_REDUCE_ASSIGN_OPS: dict[TokenKind, ReduceOp] = {
+    TokenKind.PLUS_ASSIGN: ReduceOp.SUM,
+    TokenKind.TIMES_ASSIGN: ReduceOp.PRODUCT,
+    TokenKind.MIN_ASSIGN: ReduceOp.MIN,
+    TokenKind.MAX_ASSIGN: ReduceOp.MAX,
+    TokenKind.AND_ASSIGN: ReduceOp.ALL,
+    TokenKind.OR_ASSIGN: ReduceOp.ANY,
+}
+
+_CMP_OPS: dict[TokenKind, BinOp] = {
+    TokenKind.EQ: BinOp.EQ,
+    TokenKind.NEQ: BinOp.NEQ,
+    TokenKind.LT: BinOp.LT,
+    TokenKind.GT: BinOp.GT,
+    TokenKind.LE: BinOp.LE,
+    TokenKind.GE: BinOp.GE,
+}
+
+_PRIM_TYPES: dict[TokenKind, ty.Type] = {
+    TokenKind.KW_INT: ty.INT,
+    TokenKind.KW_LONG: ty.LONG,
+    TokenKind.KW_FLOAT: ty.FLOAT,
+    TokenKind.KW_DOUBLE: ty.DOUBLE,
+    TokenKind.KW_BOOL: ty.BOOL,
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _at(self, kind: TokenKind, offset: int = 0) -> bool:
+        return self._peek(offset).kind is kind
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind, what: str | None = None) -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            expected = what or f"'{kind.value}'"
+            raise ParseError(
+                f"expected {expected}, found '{tok.text or tok.kind.value}'", tok.span
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_program(self) -> list[Procedure]:
+        procs = [self.parse_procedure()]
+        while not self._at(TokenKind.EOF):
+            procs.append(self.parse_procedure())
+        return procs
+
+    def parse_procedure(self) -> Procedure:
+        start = self._expect(TokenKind.KW_PROCEDURE).span
+        self._accept(TokenKind.KW_LOCAL)
+        name = self._expect(TokenKind.IDENT, "procedure name").text
+        self._expect(TokenKind.LPAREN)
+        params: list[Param] = []
+        if not self._at(TokenKind.RPAREN):
+            params.extend(self._parse_param_group(is_output=False))
+            if self._accept(TokenKind.SEMI):
+                params.extend(self._parse_param_group(is_output=True))
+        self._expect(TokenKind.RPAREN)
+        return_type: ty.Type | None = None
+        if self._accept(TokenKind.COLON):
+            return_type = self._parse_type()
+        body = self._parse_block()
+        return Procedure(name, params, return_type, body, span=start.merge(body.span))
+
+    def _parse_param_group(self, *, is_output: bool) -> list[Param]:
+        """Parse ``a, b: T, c: U`` — names share the type that follows them."""
+        params: list[Param] = []
+        while True:
+            names: list[tuple[str, Span]] = []
+            tok = self._expect(TokenKind.IDENT, "parameter name")
+            names.append((tok.text, tok.span))
+            while self._accept(TokenKind.COMMA):
+                tok = self._expect(TokenKind.IDENT, "parameter name")
+                names.append((tok.text, tok.span))
+            self._expect(TokenKind.COLON)
+            param_type = self._parse_type()
+            for pname, pspan in names:
+                params.append(Param(pname, param_type, is_output, span=pspan))
+            if not self._accept(TokenKind.COMMA):
+                return params
+
+    # -- types -------------------------------------------------------------
+
+    def _parse_type(self) -> ty.Type:
+        tok = self._peek()
+        if tok.kind in _PRIM_TYPES:
+            self._advance()
+            return _PRIM_TYPES[tok.kind]
+        if tok.kind is TokenKind.KW_GRAPH:
+            self._advance()
+            return ty.GRAPH
+        if tok.kind is TokenKind.KW_NODE:
+            self._advance()
+            self._skip_graph_binding()
+            return ty.NODE
+        if tok.kind is TokenKind.KW_EDGE:
+            self._advance()
+            self._skip_graph_binding()
+            return ty.EDGE
+        if tok.kind in (TokenKind.KW_NODE_PROP, TokenKind.KW_EDGE_PROP):
+            self._advance()
+            self._expect(TokenKind.LT)
+            elem = self._parse_type()
+            self._expect(TokenKind.GT)
+            self._skip_graph_binding()
+            if tok.kind is TokenKind.KW_NODE_PROP:
+                return ty.NodePropType(elem)
+            return ty.EdgePropType(elem)
+        raise ParseError(f"expected a type, found '{tok.text or tok.kind.value}'", tok.span)
+
+    def _skip_graph_binding(self) -> None:
+        """Accept and discard an explicit graph binding like ``Node(G)`` or
+        ``N_P<Int>(G)`` — we support exactly one graph per procedure."""
+        if self._at(TokenKind.LPAREN) and self._at(TokenKind.IDENT, 1) and self._at(TokenKind.RPAREN, 2):
+            self._advance()
+            self._advance()
+            self._advance()
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        start = self._expect(TokenKind.LBRACE).span
+        stmts: list[Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            stmts.append(self._parse_stmt())
+        end = self._expect(TokenKind.RBRACE).span
+        return Block(stmts, span=start.merge(end))
+
+    def _parse_stmt_as_block(self) -> Block:
+        """A statement where the grammar allows either ``{…}`` or one stmt."""
+        if self._at(TokenKind.LBRACE):
+            return self._parse_block()
+        stmt = self._parse_stmt()
+        return Block([stmt], span=stmt.span)
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self._peek()
+        if tok.kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if tok.kind in TYPE_KEYWORDS:
+            return self._parse_var_decl()
+        if tok.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if tok.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if tok.kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if tok.kind in (TokenKind.KW_FOREACH, TokenKind.KW_FOR):
+            return self._parse_foreach()
+        if tok.kind is TokenKind.KW_INBFS:
+            return self._parse_bfs()
+        if tok.kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if tok.kind is TokenKind.IDENT:
+            return self._parse_simple_stmt()
+        raise ParseError(f"expected a statement, found '{tok.text or tok.kind.value}'", tok.span)
+
+    def _parse_var_decl(self) -> VarDecl:
+        start = self._peek().span
+        decl_type = self._parse_type()
+        names = [self._expect(TokenKind.IDENT, "variable name").text]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT, "variable name").text)
+        init: Expr | None = None
+        if self._accept(TokenKind.ASSIGN):
+            init = self.parse_expr()
+        end = self._expect(TokenKind.SEMI).span
+        return VarDecl(decl_type, names, init, span=start.merge(end))
+
+    def _parse_if(self) -> If:
+        start = self._expect(TokenKind.KW_IF).span
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then = self._parse_stmt_as_block()
+        other: Block | None = None
+        if self._accept(TokenKind.KW_ELSE):
+            other = self._parse_stmt_as_block()
+        span = start.merge(other.span if other else then.span)
+        return If(cond, then, other, span=span)
+
+    def _parse_while(self) -> While:
+        start = self._expect(TokenKind.KW_WHILE).span
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_stmt_as_block()
+        return While(cond, body, do_while=False, span=start.merge(body.span))
+
+    def _parse_do_while(self) -> While:
+        start = self._expect(TokenKind.KW_DO).span
+        body = self._parse_stmt_as_block()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self._expect(TokenKind.RPAREN)
+        end = self._expect(TokenKind.SEMI).span
+        return While(cond, body, do_while=True, span=start.merge(end))
+
+    def _parse_iter_header(self) -> tuple[str, IterSource]:
+        """Parse ``it: driver.Range`` (shared by Foreach, InBFS and the
+        reduction expressions)."""
+        it = self._expect(TokenKind.IDENT, "iterator name")
+        self._expect(TokenKind.COLON)
+        driver = self._expect(TokenKind.IDENT, "iteration source")
+        self._expect(TokenKind.DOT)
+        range_tok = self._expect(TokenKind.IDENT, "iteration range")
+        kind = ast.ITER_SOURCE_NAMES.get(range_tok.text)
+        if kind is None:
+            raise ParseError(
+                f"unknown iteration range '{range_tok.text}'",
+                range_tok.span,
+                hint="expected one of: " + ", ".join(sorted(ast.ITER_SOURCE_NAMES)),
+            )
+        source = IterSource(
+            Ident(driver.text, span=driver.span), kind, span=driver.span.merge(range_tok.span)
+        )
+        return it.text, source
+
+    def _parse_filter(self) -> Expr | None:
+        """An optional iteration filter, written ``(cond)`` or ``[cond]``."""
+        if self._accept(TokenKind.LBRACKET):
+            cond = self.parse_expr()
+            self._expect(TokenKind.RBRACKET)
+            return cond
+        if self._at(TokenKind.LPAREN):
+            self._advance()
+            cond = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return cond
+        return None
+
+    def _parse_foreach(self) -> Foreach:
+        tok = self._advance()  # Foreach | For
+        parallel = tok.kind is TokenKind.KW_FOREACH
+        self._expect(TokenKind.LPAREN)
+        iterator, source = self._parse_iter_header()
+        self._expect(TokenKind.RPAREN)
+        filt = self._parse_filter()
+        body = self._parse_stmt_as_block()
+        return Foreach(iterator, source, filt, body, parallel, span=tok.span.merge(body.span))
+
+    def _parse_bfs(self) -> Bfs:
+        start = self._expect(TokenKind.KW_INBFS).span
+        self._expect(TokenKind.LPAREN)
+        iterator, source = self._parse_iter_header()
+        if source.kind is not IterKind.NODES:
+            raise ParseError("InBFS must iterate over G.Nodes", source.span)
+        self._expect(TokenKind.KW_FROM)
+        root = self.parse_expr()
+        self._expect(TokenKind.RPAREN)
+        filt = self._parse_filter()
+        body = self._parse_block()
+        reverse_filter: Expr | None = None
+        reverse_body: Block | None = None
+        end_span = body.span
+        if self._accept(TokenKind.KW_INREVERSE):
+            reverse_filter = self._parse_filter()
+            reverse_body = self._parse_block()
+            end_span = reverse_body.span
+        return Bfs(
+            iterator,
+            source,
+            root,
+            filt,
+            body,
+            reverse_filter,
+            reverse_body,
+            span=start.merge(end_span),
+        )
+
+    def _parse_return(self) -> Return:
+        start = self._expect(TokenKind.KW_RETURN).span
+        expr: Expr | None = None
+        if not self._at(TokenKind.SEMI):
+            expr = self.parse_expr()
+        end = self._expect(TokenKind.SEMI).span
+        return Return(expr, span=start.merge(end))
+
+    def _parse_simple_stmt(self) -> Stmt:
+        """Assignment forms: ``lhs = e;``, ``lhs <= e @ i;``, ``lhs op= e;``,
+        ``lhs++;`` where ``lhs`` is an identifier or a property access."""
+        target = self._parse_designator()
+        tok = self._peek()
+        if tok.kind is TokenKind.ASSIGN:
+            self._advance()
+            expr = self.parse_expr()
+            end = self._expect(TokenKind.SEMI).span
+            return Assign(target, expr, span=target.span.merge(end))
+        if tok.kind is TokenKind.LE:  # deferred (bulk-synchronous) assignment
+            self._advance()
+            expr = self.parse_expr()
+            bind = self._parse_bind()
+            end = self._expect(TokenKind.SEMI).span
+            return DeferredAssign(target, expr, bind, span=target.span.merge(end))
+        if tok.kind in _REDUCE_ASSIGN_OPS:
+            self._advance()
+            expr = self.parse_expr()
+            bind = self._parse_bind()
+            end = self._expect(TokenKind.SEMI).span
+            return ReduceAssign(
+                target, _REDUCE_ASSIGN_OPS[tok.kind], expr, bind, span=target.span.merge(end)
+            )
+        if tok.kind is TokenKind.INCR:
+            self._advance()
+            end = self._expect(TokenKind.SEMI).span
+            one = IntLit(1, span=tok.span)
+            read = self._copy_designator(target)
+            add = ast.Binary(BinOp.ADD, read, one, span=tok.span)
+            return Assign(target, add, span=target.span.merge(end))
+        raise ParseError(
+            f"expected an assignment operator, found '{tok.text or tok.kind.value}'", tok.span
+        )
+
+    def _parse_designator(self) -> Expr:
+        tok = self._expect(TokenKind.IDENT, "assignment target")
+        target: Expr = Ident(tok.text, span=tok.span)
+        if self._at(TokenKind.DOT):
+            self._advance()
+            prop_tok = self._expect(TokenKind.IDENT, "property name")
+            target = PropAccess(target, prop_tok.text, span=tok.span.merge(prop_tok.span))
+        return target
+
+    @staticmethod
+    def _copy_designator(target: Expr) -> Expr:
+        if isinstance(target, Ident):
+            return Ident(target.name, span=target.span)
+        assert isinstance(target, PropAccess) and isinstance(target.target, Ident)
+        return PropAccess(Ident(target.target.name, span=target.span), target.prop, span=target.span)
+
+    def _parse_bind(self) -> str | None:
+        if self._accept(TokenKind.AT):
+            return self._expect(TokenKind.IDENT, "binding iterator").text
+        return None
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_or()
+        if self._accept(TokenKind.QUESTION):
+            then = self.parse_expr()
+            self._expect(TokenKind.COLON)
+            other = self._parse_ternary()
+            return Ternary(cond, then, other, span=cond.span.merge(other.span))
+        return cond
+
+    def _parse_or(self) -> Expr:
+        lhs = self._parse_and()
+        while self._accept(TokenKind.OR_OP):
+            rhs = self._parse_and()
+            lhs = ast.Binary(BinOp.OR, lhs, rhs, span=lhs.span.merge(rhs.span))
+        return lhs
+
+    def _parse_and(self) -> Expr:
+        lhs = self._parse_cmp()
+        while self._accept(TokenKind.AND_OP):
+            rhs = self._parse_cmp()
+            lhs = ast.Binary(BinOp.AND, lhs, rhs, span=lhs.span.merge(rhs.span))
+        return lhs
+
+    def _parse_cmp(self) -> Expr:
+        lhs = self._parse_add()
+        tok = self._peek()
+        if tok.kind in _CMP_OPS:
+            self._advance()
+            rhs = self._parse_add()
+            return ast.Binary(_CMP_OPS[tok.kind], lhs, rhs, span=lhs.span.merge(rhs.span))
+        return lhs
+
+    def _parse_add(self) -> Expr:
+        lhs = self._parse_mul()
+        while True:
+            if self._accept(TokenKind.PLUS):
+                rhs = self._parse_mul()
+                lhs = ast.Binary(BinOp.ADD, lhs, rhs, span=lhs.span.merge(rhs.span))
+            elif self._accept(TokenKind.MINUS):
+                rhs = self._parse_mul()
+                lhs = ast.Binary(BinOp.SUB, lhs, rhs, span=lhs.span.merge(rhs.span))
+            else:
+                return lhs
+
+    def _parse_mul(self) -> Expr:
+        lhs = self._parse_unary()
+        while True:
+            if self._accept(TokenKind.STAR):
+                rhs = self._parse_unary()
+                lhs = ast.Binary(BinOp.MUL, lhs, rhs, span=lhs.span.merge(rhs.span))
+            elif self._accept(TokenKind.SLASH):
+                rhs = self._parse_unary()
+                lhs = ast.Binary(BinOp.DIV, lhs, rhs, span=lhs.span.merge(rhs.span))
+            elif self._accept(TokenKind.PERCENT):
+                rhs = self._parse_unary()
+                lhs = ast.Binary(BinOp.MOD, lhs, rhs, span=lhs.span.merge(rhs.span))
+            else:
+                return lhs
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.MINUS:
+            self._advance()
+            if self._at(TokenKind.KW_INF):
+                inf = self._advance()
+                return InfLit(negative=True, span=tok.span.merge(inf.span))
+            operand = self._parse_unary()
+            return Unary(UnOp.NEG, operand, span=tok.span.merge(operand.span))
+        if tok.kind is TokenKind.PLUS:
+            self._advance()
+            if self._at(TokenKind.KW_INF):
+                inf = self._advance()
+                return InfLit(negative=False, span=tok.span.merge(inf.span))
+            return self._parse_unary()
+        if tok.kind is TokenKind.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return Unary(UnOp.NOT, operand, span=tok.span.merge(operand.span))
+        return self._parse_primary()
+
+    def _is_cast_ahead(self) -> bool:
+        return (
+            self._at(TokenKind.LPAREN)
+            and self._peek(1).kind in TYPE_KEYWORDS
+            and self._at(TokenKind.RPAREN, 2)
+        )
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.INT_LIT:
+            self._advance()
+            return IntLit(int(tok.text), span=tok.span)
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return FloatLit(float(tok.text), span=tok.span)
+        if tok.kind is TokenKind.KW_TRUE:
+            self._advance()
+            return BoolLit(True, span=tok.span)
+        if tok.kind is TokenKind.KW_FALSE:
+            self._advance()
+            return BoolLit(False, span=tok.span)
+        if tok.kind is TokenKind.KW_NIL:
+            self._advance()
+            return NilLit(span=tok.span)
+        if tok.kind is TokenKind.KW_INF:
+            self._advance()
+            return InfLit(negative=False, span=tok.span)
+        if self._is_cast_ahead():
+            self._advance()
+            to_type = self._parse_type()
+            self._expect(TokenKind.RPAREN)
+            operand = self._parse_unary()
+            return Cast(to_type, operand, span=tok.span.merge(operand.span))
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if tok.kind is TokenKind.BAR:
+            self._advance()
+            inner = self.parse_expr()
+            end = self._expect(TokenKind.BAR, "closing '|'").span
+            return Unary(UnOp.ABS, inner, span=tok.span.merge(end))
+        if tok.kind is TokenKind.IDENT:
+            if tok.text in ast.REDUCE_EXPR_NAMES and self._at(TokenKind.LPAREN, 1):
+                return self._parse_reduce_expr()
+            return self._parse_postfix()
+        raise ParseError(
+            f"expected an expression, found '{tok.text or tok.kind.value}'", tok.span
+        )
+
+    def _parse_reduce_expr(self) -> ReduceExpr:
+        name_tok = self._advance()
+        op = ast.REDUCE_EXPR_NAMES[name_tok.text]
+        self._expect(TokenKind.LPAREN)
+        iterator, source = self._parse_iter_header()
+        self._expect(TokenKind.RPAREN)
+        filt = self._parse_filter()
+        body: Expr | None = None
+        end_span = source.span
+        if self._accept(TokenKind.LBRACE):
+            body = self.parse_expr()
+            end_span = self._expect(TokenKind.RBRACE).span
+        if op in (ReduceOp.ANY, ReduceOp.ALL) and body is not None and filt is None:
+            # Exist(n: …){cond} — predicate written as the body.
+            filt, body = body, None
+        if body is None and op not in (ReduceOp.COUNT, ReduceOp.ANY, ReduceOp.ALL):
+            raise ParseError(
+                f"{name_tok.text} requires a body expression in braces", name_tok.span
+            )
+        return ReduceExpr(op, iterator, source, filt, body, span=name_tok.span.merge(end_span))
+
+    def _parse_postfix(self) -> Expr:
+        tok = self._expect(TokenKind.IDENT)
+        expr: Expr = Ident(tok.text, span=tok.span)
+        while self._at(TokenKind.DOT):
+            self._advance()
+            member = self._expect(TokenKind.IDENT, "member name")
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args: list[Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self._accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                end = self._expect(TokenKind.RPAREN).span
+                expr = MethodCall(expr, member.text, args, span=tok.span.merge(end))
+            else:
+                expr = PropAccess(expr, member.text, span=tok.span.merge(member.span))
+        return expr
+
+
+def parse_procedure(source: str) -> Procedure:
+    """Parse a single Green-Marl procedure from ``source``."""
+    parser = Parser(source)
+    proc = parser.parse_procedure()
+    tok = parser._peek()
+    if tok.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected trailing input '{tok.text}'", tok.span)
+    return proc
+
+
+def parse_program(source: str) -> list[Procedure]:
+    """Parse one or more procedures from ``source``."""
+    return Parser(source).parse_program()

@@ -1,0 +1,248 @@
+"""Pretty-printer: AST → Green-Marl source.
+
+The output re-parses to an equivalent AST (round-trip property, tested with
+hypothesis), and is used to display transformed programs — e.g. the
+Pregel-canonical form the compiler produces before translation.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Assign,
+    AstNode,
+    Bfs,
+    Binary,
+    BinOp,
+    Block,
+    BoolLit,
+    Cast,
+    DeferredAssign,
+    Expr,
+    FloatLit,
+    Foreach,
+    Ident,
+    If,
+    InfLit,
+    IntLit,
+    IterSource,
+    MethodCall,
+    NilLit,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    ReduceExpr,
+    ReduceOp,
+    Return,
+    Stmt,
+    Ternary,
+    Unary,
+    UnOp,
+    VarDecl,
+    While,
+)
+
+_REDUCE_ASSIGN_SPELLING = {
+    ReduceOp.SUM: "+=",
+    ReduceOp.PRODUCT: "*=",
+    ReduceOp.MIN: "min=",
+    ReduceOp.MAX: "max=",
+    ReduceOp.ALL: "&=",
+    ReduceOp.ANY: "|=",
+}
+
+_REDUCE_EXPR_SPELLING = {
+    ReduceOp.SUM: "Sum",
+    ReduceOp.PRODUCT: "Product",
+    ReduceOp.COUNT: "Count",
+    ReduceOp.MIN: "Min",
+    ReduceOp.MAX: "Max",
+    ReduceOp.AVG: "Avg",
+    ReduceOp.ALL: "All",
+    ReduceOp.ANY: "Exist",
+}
+
+# Binding strength, used to decide where parentheses are required.
+_PRECEDENCE = {
+    BinOp.OR: 1,
+    BinOp.AND: 2,
+    BinOp.EQ: 3,
+    BinOp.NEQ: 3,
+    BinOp.LT: 3,
+    BinOp.GT: 3,
+    BinOp.LE: 3,
+    BinOp.GE: 3,
+    BinOp.ADD: 4,
+    BinOp.SUB: 4,
+    BinOp.MUL: 5,
+    BinOp.DIV: 5,
+    BinOp.MOD: 5,
+}
+_TERNARY_PREC = 0
+_UNARY_PREC = 6
+
+
+class PrettyPrinter:
+    def __init__(self, indent: str = "  "):
+        self._indent = indent
+        self._lines: list[str] = []
+        self._depth = 0
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(self._indent * self._depth + text)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    # -- top level -----------------------------------------------------------
+
+    def print_procedure(self, proc: Procedure) -> str:
+        inputs = [p for p in proc.params if not p.is_output]
+        outputs = [p for p in proc.params if p.is_output]
+        sig = ", ".join(f"{p.name}: {p.param_type}" for p in inputs)
+        if outputs:
+            sig += "; " + ", ".join(f"{p.name}: {p.param_type}" for p in outputs)
+        ret = f": {proc.return_type}" if proc.return_type is not None else ""
+        self._emit(f"Procedure {proc.name}({sig}){ret} {{")
+        self._depth += 1
+        for stmt in proc.body.stmts:
+            self.print_stmt(stmt)
+        self._depth -= 1
+        self._emit("}")
+        return self.render()
+
+    # -- statements -----------------------------------------------------------
+
+    def print_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._emit("{")
+            self._depth += 1
+            for s in stmt.stmts:
+                self.print_stmt(s)
+            self._depth -= 1
+            self._emit("}")
+        elif isinstance(stmt, VarDecl):
+            init = f" = {self.expr(stmt.init)}" if stmt.init is not None else ""
+            self._emit(f"{stmt.decl_type} {', '.join(stmt.names)}{init};")
+        elif isinstance(stmt, Assign):
+            self._emit(f"{self.expr(stmt.target)} = {self.expr(stmt.expr)};")
+        elif isinstance(stmt, ReduceAssign):
+            bind = f" @ {stmt.bind}" if stmt.bind else ""
+            op = _REDUCE_ASSIGN_SPELLING[stmt.op]
+            self._emit(f"{self.expr(stmt.target)} {op} {self.expr(stmt.expr)}{bind};")
+        elif isinstance(stmt, DeferredAssign):
+            bind = f" @ {stmt.bind}" if stmt.bind else ""
+            self._emit(f"{self.expr(stmt.target)} <= {self.expr(stmt.expr)}{bind};")
+        elif isinstance(stmt, If):
+            self._emit(f"If ({self.expr(stmt.cond)})")
+            self.print_stmt(stmt.then)
+            if stmt.other is not None:
+                self._emit("Else")
+                self.print_stmt(stmt.other)
+        elif isinstance(stmt, While):
+            if stmt.do_while:
+                self._emit("Do")
+                self.print_stmt(stmt.body)
+                self._emit(f"While ({self.expr(stmt.cond)});")
+            else:
+                self._emit(f"While ({self.expr(stmt.cond)})")
+                self.print_stmt(stmt.body)
+        elif isinstance(stmt, Foreach):
+            kw = "Foreach" if stmt.parallel else "For"
+            filt = f" [{self.expr(stmt.filter)}]" if stmt.filter is not None else ""
+            self._emit(f"{kw} ({stmt.iterator}: {self.iter_source(stmt.source)}){filt}")
+            self.print_stmt(stmt.body)
+        elif isinstance(stmt, Bfs):
+            filt = f" [{self.expr(stmt.filter)}]" if stmt.filter is not None else ""
+            self._emit(
+                f"InBFS ({stmt.iterator}: {self.iter_source(stmt.source)} "
+                f"From {self.expr(stmt.root)}){filt}"
+            )
+            self.print_stmt(stmt.body)
+            if stmt.reverse_body is not None:
+                rfilt = (
+                    f" [{self.expr(stmt.reverse_filter)}]"
+                    if stmt.reverse_filter is not None
+                    else ""
+                )
+                self._emit(f"InReverse{rfilt}")
+                self.print_stmt(stmt.reverse_body)
+        elif isinstance(stmt, Return):
+            if stmt.expr is None:
+                self._emit("Return;")
+            else:
+                self._emit(f"Return {self.expr(stmt.expr)};")
+        else:
+            raise TypeError(f"cannot pretty-print statement {type(stmt).__name__}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def iter_source(self, source: IterSource) -> str:
+        return f"{self.expr(source.driver)}.{source.kind.value}"
+
+    def expr(self, e: Expr, parent_prec: int = -1) -> str:
+        text, prec = self._expr_with_prec(e)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_with_prec(self, e: Expr) -> tuple[str, int]:
+        atom = 100
+        if isinstance(e, IntLit):
+            return str(e.value), atom
+        if isinstance(e, FloatLit):
+            return repr(e.value), atom
+        if isinstance(e, BoolLit):
+            return ("True" if e.value else "False"), atom
+        if isinstance(e, NilLit):
+            return "NIL", atom
+        if isinstance(e, InfLit):
+            return ("-INF" if e.negative else "+INF"), atom
+        if isinstance(e, Ident):
+            return e.name, atom
+        if isinstance(e, PropAccess):
+            return f"{self.expr(e.target, atom)}.{e.prop}", atom
+        if isinstance(e, MethodCall):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{self.expr(e.target, atom)}.{e.name}({args})", atom
+        if isinstance(e, Unary):
+            if e.op is UnOp.ABS:
+                return f"|{self.expr(e.operand)}|", atom
+            op = "-" if e.op is UnOp.NEG else "!"
+            return f"{op}{self.expr(e.operand, _UNARY_PREC)}", _UNARY_PREC
+        if isinstance(e, Binary):
+            prec = _PRECEDENCE[e.op]
+            lhs = self.expr(e.lhs, prec)
+            # left-associative: right operand needs strictly higher precedence
+            rhs = self.expr(e.rhs, prec + 1)
+            return f"{lhs} {e.op.value} {rhs}", prec
+        if isinstance(e, Ternary):
+            cond = self.expr(e.cond, _TERNARY_PREC + 1)
+            then = self.expr(e.then)
+            other = self.expr(e.other, _TERNARY_PREC)
+            return f"{cond} ? {then} : {other}", _TERNARY_PREC
+        if isinstance(e, Cast):
+            return f"({e.to_type}) {self.expr(e.operand, _UNARY_PREC)}", _UNARY_PREC
+        if isinstance(e, ReduceExpr):
+            name = _REDUCE_EXPR_SPELLING[e.op]
+            head = f"{name}({e.iterator}: {self.iter_source(e.source)})"
+            if e.filter is not None:
+                head += f"[{self.expr(e.filter)}]"
+            if e.body is not None:
+                head += f"{{{self.expr(e.body)}}}"
+            return head, atom
+        raise TypeError(f"cannot pretty-print expression {type(e).__name__}")
+
+
+def pretty(node: AstNode) -> str:
+    """Render a procedure, statement or expression back to Green-Marl text."""
+    printer = PrettyPrinter()
+    if isinstance(node, Procedure):
+        return printer.print_procedure(node)
+    if isinstance(node, Stmt):
+        printer.print_stmt(node)
+        return printer.render()
+    if isinstance(node, Expr):
+        return printer.expr(node)
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")

@@ -1,0 +1,71 @@
+"""Symbols and lexical scopes for Green-Marl procedures."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .ast import AstNode
+from .types import Type
+
+
+class SymbolKind(enum.Enum):
+    PARAM_IN = "input parameter"
+    PARAM_OUT = "output parameter"
+    LOCAL = "local variable"
+    PROPERTY = "property"
+    ITERATOR = "iterator"
+    BFS_ITERATOR = "bfs iterator"
+
+
+@dataclass(eq=False)
+class Symbol:
+    name: str
+    type: Type
+    kind: SymbolKind
+    decl: AstNode | None = None
+
+    def is_property(self) -> bool:
+        return self.kind is SymbolKind.PROPERTY
+
+    def is_iterator(self) -> bool:
+        return self.kind in (SymbolKind.ITERATOR, SymbolKind.BFS_ITERATOR)
+
+    def is_scalar(self) -> bool:
+        """Scalar variables in the paper's sense: sequential-phase values that
+        become master-class fields (params and locals of non-property type)."""
+        return self.kind in (SymbolKind.PARAM_IN, SymbolKind.PARAM_OUT, SymbolKind.LOCAL)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name}: {self.type}, {self.kind.name})"
+
+
+@dataclass(eq=False)
+class Scope:
+    """One lexical scope; lookup walks outward through ``parent``."""
+
+    parent: "Scope | None" = None
+    _symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def define(self, symbol: Symbol) -> Symbol:
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            found = scope._symbols.get(name)
+            if found is not None:
+                return found
+            scope = scope.parent
+        return None
+
+    def defined_here(self, name: str) -> bool:
+        return name in self._symbols
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+    def symbols(self) -> Iterator[Symbol]:
+        yield from self._symbols.values()

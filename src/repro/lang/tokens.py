@@ -1,0 +1,146 @@
+"""Token kinds for the Green-Marl lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import Span
+
+
+class TokenKind(enum.Enum):
+    # literals / identifiers
+    IDENT = "identifier"
+    INT_LIT = "integer literal"
+    FLOAT_LIT = "float literal"
+
+    # keywords
+    KW_PROCEDURE = "Procedure"
+    KW_LOCAL = "Local"
+    KW_IF = "If"
+    KW_ELSE = "Else"
+    KW_WHILE = "While"
+    KW_DO = "Do"
+    KW_FOREACH = "Foreach"
+    KW_FOR = "For"
+    KW_INBFS = "InBFS"
+    KW_INREVERSE = "InReverse"
+    KW_FROM = "From"
+    KW_RETURN = "Return"
+    KW_TRUE = "True"
+    KW_FALSE = "False"
+    KW_NIL = "NIL"
+    KW_INF = "INF"
+
+    # type keywords
+    KW_GRAPH = "Graph"
+    KW_NODE = "Node"
+    KW_EDGE = "Edge"
+    KW_INT = "Int"
+    KW_LONG = "Long"
+    KW_FLOAT = "Float"
+    KW_DOUBLE = "Double"
+    KW_BOOL = "Bool"
+    KW_NODE_PROP = "N_P"
+    KW_EDGE_PROP = "E_P"
+
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    AT = "@"
+    QUESTION = "?"
+    BAR = "|"  # absolute-value delimiter; `||` lexes as OR_OP
+
+    # operators
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    TIMES_ASSIGN = "*="
+    MIN_ASSIGN = "min="
+    MAX_ASSIGN = "max="
+    AND_ASSIGN = "&="
+    OR_ASSIGN = "|="
+    INCR = "++"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    AND_OP = "&&"
+    OR_OP = "||"
+    NOT = "!"
+
+    EOF = "<eof>"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "Procedure": TokenKind.KW_PROCEDURE,
+    "Proc": TokenKind.KW_PROCEDURE,
+    "Local": TokenKind.KW_LOCAL,
+    "If": TokenKind.KW_IF,
+    "Else": TokenKind.KW_ELSE,
+    "While": TokenKind.KW_WHILE,
+    "Do": TokenKind.KW_DO,
+    "Foreach": TokenKind.KW_FOREACH,
+    "For": TokenKind.KW_FOR,
+    "InBFS": TokenKind.KW_INBFS,
+    "InReverse": TokenKind.KW_INREVERSE,
+    "InRBFS": TokenKind.KW_INREVERSE,
+    "From": TokenKind.KW_FROM,
+    "Return": TokenKind.KW_RETURN,
+    "True": TokenKind.KW_TRUE,
+    "False": TokenKind.KW_FALSE,
+    "NIL": TokenKind.KW_NIL,
+    "INF": TokenKind.KW_INF,
+    "Graph": TokenKind.KW_GRAPH,
+    "Node": TokenKind.KW_NODE,
+    "Edge": TokenKind.KW_EDGE,
+    "Int": TokenKind.KW_INT,
+    "Long": TokenKind.KW_LONG,
+    "Float": TokenKind.KW_FLOAT,
+    "Double": TokenKind.KW_DOUBLE,
+    "Bool": TokenKind.KW_BOOL,
+    "N_P": TokenKind.KW_NODE_PROP,
+    "E_P": TokenKind.KW_EDGE_PROP,
+    "Node_Prop": TokenKind.KW_NODE_PROP,
+    "Edge_Prop": TokenKind.KW_EDGE_PROP,
+}
+
+#: Type keywords, used by the parser to detect declaration statements.
+TYPE_KEYWORDS = frozenset(
+    {
+        TokenKind.KW_GRAPH,
+        TokenKind.KW_NODE,
+        TokenKind.KW_EDGE,
+        TokenKind.KW_INT,
+        TokenKind.KW_LONG,
+        TokenKind.KW_FLOAT,
+        TokenKind.KW_DOUBLE,
+        TokenKind.KW_BOOL,
+        TokenKind.KW_NODE_PROP,
+        TokenKind.KW_EDGE_PROP,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.span}"

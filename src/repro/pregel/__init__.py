@@ -1,0 +1,15 @@
+"""Pregel/GPS runtime simulator: graph, BSP engine, global-objects map."""
+
+from .globalmap import GlobalObjectMap, GlobalOp, combine
+from .graph import Graph
+from .runtime import PregelEngine, RunMetrics, default_message_size
+
+__all__ = [
+    "GlobalObjectMap",
+    "GlobalOp",
+    "Graph",
+    "PregelEngine",
+    "RunMetrics",
+    "combine",
+    "default_message_size",
+]

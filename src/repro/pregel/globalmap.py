@@ -1,0 +1,92 @@
+"""The GPS global-objects map.
+
+Vertices write to named global objects with an attached reduction (the
+paper's ``Global.put("S", new IntSum(...))``); the runtime folds the puts
+during the superstep and exposes the aggregated value to the master at the
+*next* superstep.  The master's own puts are broadcast values visible to
+every vertex within the same superstep (GPS runs ``master.compute()`` first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class GlobalOp(enum.Enum):
+    SUM = "sum"
+    PRODUCT = "product"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    OVERWRITE = "overwrite"
+
+
+def combine(op: GlobalOp, a: Any, b: Any) -> Any:
+    if op is GlobalOp.SUM:
+        return a + b
+    if op is GlobalOp.PRODUCT:
+        return a * b
+    if op is GlobalOp.MIN:
+        return b if b < a else a
+    if op is GlobalOp.MAX:
+        return b if b > a else a
+    if op is GlobalOp.AND:
+        return a and b
+    if op is GlobalOp.OR:
+        return a or b
+    if op is GlobalOp.OVERWRITE:
+        return b
+    raise ValueError(f"unknown reduction {op}")
+
+
+@dataclass
+class GlobalObjectMap:
+    """Three views of global state, advanced once per superstep:
+
+    * ``broadcast`` — master → vertices, current superstep;
+    * ``_pending`` — vertex puts being folded during the current superstep;
+    * ``aggregated`` — last superstep's folded puts, readable by the master.
+    """
+
+    broadcast: dict[str, Any] = field(default_factory=dict)
+    aggregated: dict[str, Any] = field(default_factory=dict)
+    _pending: dict[str, Any] = field(default_factory=dict)
+    _pending_ops: dict[str, GlobalOp] = field(default_factory=dict)
+
+    # -- vertex side -----------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        return self.broadcast[name]
+
+    def put_reduce(self, name: str, op: GlobalOp, value: Any) -> None:
+        if name in self._pending:
+            if self._pending_ops[name] is not op:
+                raise ValueError(
+                    f"conflicting reductions on global '{name}': "
+                    f"{self._pending_ops[name].value} vs {op.value}"
+                )
+            self._pending[name] = combine(op, self._pending[name], value)
+        else:
+            self._pending[name] = value
+            self._pending_ops[name] = op
+
+    # -- master side -----------------------------------------------------
+
+    def get_aggregated(self, name: str, default: Any = None) -> Any:
+        return self.aggregated.get(name, default)
+
+    def has_aggregated(self, name: str) -> bool:
+        return name in self.aggregated
+
+    def put_broadcast(self, name: str, value: Any) -> None:
+        self.broadcast[name] = value
+
+    # -- engine side ----------------------------------------------------
+
+    def end_superstep(self) -> None:
+        self.aggregated = self._pending
+        self._pending = {}
+        self._pending_ops = {}

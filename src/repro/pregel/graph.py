@@ -1,0 +1,161 @@
+"""Directed property graph in CSR (compressed sparse row) form.
+
+This is the graph substrate both the Pregel engine and the shared-memory
+reference interpreter run on.  Node properties are columnar arrays indexed by
+vertex id; edge properties are arrays aligned with the out-edge CSR order, so
+an edge's property is addressed by its CSR position — matching Pregel's model
+where the edge ``(u, v)`` and its values belong to the source vertex ``u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Graph:
+    num_nodes: int
+    # CSR over outgoing edges
+    out_offsets: list[int]
+    out_targets: list[int]
+    # CSR over incoming edges; in_edge_ids maps each in-edge back to its
+    # position in the out-CSR (where edge properties live).
+    in_offsets: list[int]
+    in_sources: list[int]
+    in_edge_ids: list[int]
+    node_props: dict[str, list] = field(default_factory=dict)
+    edge_props: dict[str, list] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_edges(
+        num_nodes: int,
+        edges: Sequence[tuple[int, int]],
+        edge_props: dict[str, Sequence] | None = None,
+    ) -> "Graph":
+        """Build a graph from an edge list.
+
+        ``edge_props`` values are aligned with ``edges``; they are re-ordered
+        into CSR position internally.
+        """
+        num_edges = len(edges)
+        out_deg = [0] * num_nodes
+        in_deg = [0] * num_nodes
+        for src, dst in edges:
+            if not (0 <= src < num_nodes and 0 <= dst < num_nodes):
+                raise ValueError(f"edge ({src}, {dst}) out of range for {num_nodes} nodes")
+            out_deg[src] += 1
+            in_deg[dst] += 1
+
+        out_offsets = _prefix_sum(out_deg)
+        in_offsets = _prefix_sum(in_deg)
+        out_targets = [0] * num_edges
+        in_sources = [0] * num_edges
+        in_edge_ids = [0] * num_edges
+
+        cursor = list(out_offsets[:-1])
+        edge_pos = [0] * num_edges
+        for idx, (src, dst) in enumerate(edges):
+            pos = cursor[src]
+            cursor[src] += 1
+            out_targets[pos] = dst
+            edge_pos[idx] = pos
+        in_cursor = list(in_offsets[:-1])
+        for idx, (src, dst) in enumerate(edges):
+            pos = in_cursor[dst]
+            in_cursor[dst] += 1
+            in_sources[pos] = src
+            in_edge_ids[pos] = edge_pos[idx]
+
+        graph = Graph(
+            num_nodes, out_offsets, out_targets, in_offsets, in_sources, in_edge_ids
+        )
+        if edge_props:
+            for name, values in edge_props.items():
+                if len(values) != num_edges:
+                    raise ValueError(
+                        f"edge property '{name}' has {len(values)} values for "
+                        f"{num_edges} edges"
+                    )
+                csr_values = [None] * num_edges
+                for idx, value in enumerate(values):
+                    csr_values[edge_pos[idx]] = value
+                graph.edge_props[name] = csr_values  # type: ignore[assignment]
+        return graph
+
+    # -- topology --------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.out_targets)
+
+    def out_nbrs(self, v: int) -> list[int]:
+        return self.out_targets[self.out_offsets[v] : self.out_offsets[v + 1]]
+
+    def in_nbrs(self, v: int) -> list[int]:
+        return self.in_sources[self.in_offsets[v] : self.in_offsets[v + 1]]
+
+    def out_edge_range(self, v: int) -> range:
+        """CSR edge-id positions of v's outgoing edges (index edge_props)."""
+        return range(self.out_offsets[v], self.out_offsets[v + 1])
+
+    def out_degree(self, v: int) -> int:
+        return self.out_offsets[v + 1] - self.out_offsets[v]
+
+    def in_degree(self, v: int) -> int:
+        return self.in_offsets[v + 1] - self.in_offsets[v]
+
+    def degree(self, v: int) -> int:
+        return self.out_degree(v)
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for v in self.nodes():
+            for w in self.out_nbrs(v):
+                yield (v, w)
+
+    # -- properties ----------------------------------------------------------
+
+    def add_node_prop(self, name: str, values: Sequence | None = None, default=0) -> list:
+        if values is not None:
+            if len(values) != self.num_nodes:
+                raise ValueError(
+                    f"node property '{name}' has {len(values)} values for "
+                    f"{self.num_nodes} nodes"
+                )
+            column = list(values)
+        else:
+            column = [default] * self.num_nodes
+        self.node_props[name] = column
+        return column
+
+    def add_edge_prop_csr(self, name: str, values: Sequence | None = None, default=0) -> list:
+        """Add an edge property already in CSR order."""
+        if values is not None:
+            if len(values) != self.num_edges:
+                raise ValueError(
+                    f"edge property '{name}' has {len(values)} values for "
+                    f"{self.num_edges} edges"
+                )
+            column = list(values)
+        else:
+            column = [default] * self.num_edges
+        self.edge_props[name] = column
+        return column
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def _prefix_sum(counts: list[int]) -> list[int]:
+    offsets = [0] * (len(counts) + 1)
+    total = 0
+    for i, c in enumerate(counts):
+        offsets[i] = total
+        total += c
+    offsets[len(counts)] = total
+    return offsets

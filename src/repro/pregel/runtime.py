@@ -1,0 +1,307 @@
+"""The Pregel/GPS bulk-synchronous execution engine.
+
+A faithful single-process simulator of GPS (the open-source Pregel the paper
+evaluates on):
+
+* computation proceeds in *supersteps* separated by global barriers;
+* ``master.compute()`` runs at the start of each superstep (GPS §2.1's
+  extension), sees global objects aggregated from the previous superstep's
+  vertex puts, and broadcasts values visible to vertices in the same
+  superstep;
+* every vertex executes ``vertex.compute()`` once per superstep; messages
+  sent in superstep *i* are delivered in superstep *i + 1*;
+* optional vote-to-halt semantics (used by hand-written Pregel programs; the
+  compiler-generated programs drive termination from the master, exactly as
+  the paper describes in §5.2).
+
+The engine also meters what the paper measures: the number of timesteps, the
+number of messages, and the network I/O they cause under a hash partitioning
+of vertices across ``num_workers`` simulated machines.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from .globalmap import GlobalObjectMap, GlobalOp
+from .graph import Graph
+
+_NO_MESSAGES: tuple = ()
+
+
+class VertexCompute(Protocol):
+    def __call__(self, ctx: "PregelEngine", vid: int, messages: list) -> None: ...
+
+
+class MasterCompute(Protocol):
+    def __call__(self, ctx: "PregelEngine") -> None: ...
+
+
+@dataclass
+class RunMetrics:
+    """What one Pregel execution cost — the quantities of Figure 6 / §5.2."""
+
+    supersteps: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+    net_messages: int = 0        # messages crossing a worker boundary
+    net_bytes: int = 0           # their payload bytes
+    broadcast_values: int = 0    # master→vertex global-object broadcasts
+    wall_seconds: float = 0.0
+    result: Any = None
+    halt_reason: str = ""
+    per_superstep_messages: list[int] = field(default_factory=list)
+    #: messages sent per worker over the whole run (hash partitioning); the
+    #: spread measures the load imbalance skewed graphs inflict on a real
+    #: cluster, where superstep time = the slowest worker's time.
+    worker_sent: list[int] = field(default_factory=list)
+    #: simulated cluster time (with ``track_makespan=True``): per superstep,
+    #: the *maximum* over workers of (vertices computed + messages sent +
+    #: messages received), summed over supersteps.  A balanced run's makespan
+    #: approaches total_work / num_workers; a skewed one is dominated by the
+    #: hub-owning worker — the effect behind the paper's per-graph run times.
+    makespan_units: int = 0
+    ideal_units: float = 0.0
+
+    def makespan_inflation(self) -> float:
+        """makespan / perfectly-balanced makespan (1.0 = no imbalance)."""
+        if self.ideal_units == 0:
+            return 1.0
+        return self.makespan_units / self.ideal_units
+
+    def load_imbalance(self) -> float:
+        """max/mean of per-worker sent messages (1.0 = perfectly balanced)."""
+        active = [c for c in self.worker_sent]
+        if not active or sum(active) == 0:
+            return 1.0
+        mean = sum(active) / len(active)
+        return max(active) / mean
+
+    def summary(self) -> str:
+        return (
+            f"supersteps={self.supersteps} messages={self.messages} "
+            f"bytes={self.message_bytes} net_bytes={self.net_bytes} "
+            f"wall={self.wall_seconds:.3f}s"
+        )
+
+
+def default_message_size(msg: tuple) -> int:
+    """Fallback sizing: 1 byte tag + 8 bytes per payload field."""
+    return 1 + 8 * (len(msg) - 1)
+
+
+class PregelEngine:
+    """One Pregel job: a graph, a vertex program, and an optional master.
+
+    The engine object itself is the context handed to both compute functions.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertex_compute: VertexCompute,
+        master_compute: MasterCompute | None = None,
+        *,
+        num_workers: int = 4,
+        seed: int = 17,
+        message_size: Callable[[tuple], int] = default_message_size,
+        max_supersteps: int = 1_000_000,
+        use_voting: bool = False,
+        record_per_superstep: bool = False,
+        combiners: dict[int, Callable[[tuple, tuple], tuple]] | None = None,
+        partitioning: str = "hash",
+        track_makespan: bool = False,
+    ):
+        self.graph = graph
+        self._vertex_compute = vertex_compute
+        self._master_compute = master_compute
+        self.num_workers = max(1, num_workers)
+        self.rng = random.Random(seed)
+        self._message_size = message_size
+        self._max_supersteps = max_supersteps
+        self._use_voting = use_voting
+        self._record_per_superstep = record_per_superstep
+
+        self.globals = GlobalObjectMap()
+        self.superstep = 0
+        self.result: Any = None
+        self.metrics = RunMetrics()
+
+        self._halt = False
+        self._outbox: dict[int, list] = {}
+        self._inbox: dict[int, list] = {}
+        self._current_vertex = -1
+        self._voted = bytearray(graph.num_nodes) if use_voting else None
+        # Sender-side message combining (the Pregel paper's combiners): one
+        # slot per (sender worker, destination, tag), folded on every send.
+        self._combiners = combiners or {}
+        self._combined: dict[tuple[int, int, int], tuple] = {}
+        self.metrics.worker_sent = [0] * self.num_workers
+        # Vertex -> worker placement.  'hash' is GPS's default (round-robin
+        # by id); 'range' assigns contiguous id blocks, which keeps the
+        # id-local edges of web crawls within one worker.
+        self.partitioning = partitioning
+        n, w = graph.num_nodes, self.num_workers
+        if partitioning == "hash":
+            self._worker_of = bytes(v % w for v in range(n)) if w <= 256 else [
+                v % w for v in range(n)
+            ]
+        elif partitioning == "range":
+            self._worker_of = bytes(min(v * w // max(1, n), w - 1) for v in range(n)) if w <= 256 else [
+                min(v * w // max(1, n), w - 1) for v in range(n)
+            ]
+        else:
+            raise ValueError(f"unknown partitioning '{partitioning}'")
+        self._track_makespan = track_makespan
+        # per-superstep work units per worker (compute + sends + receives)
+        self._step_work: list[int] = [0] * self.num_workers
+
+    # ------------------------------------------------------------------
+    # Vertex-side API
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, msg: tuple) -> None:
+        """Send ``msg`` to vertex ``dst``, delivered next superstep."""
+        combiner = self._combiners.get(msg[0]) if self._combiners else None
+        worker_of = self._worker_of
+        if combiner is not None:
+            key = (worker_of[self._current_vertex], dst, msg[0])
+            slot = self._combined.get(key)
+            if slot is not None:
+                self._combined[key] = combiner(slot, msg)
+                return  # folded into an existing message: no new traffic
+            self._combined[key] = msg
+        else:
+            self._enqueue(dst, msg)
+        size = self._message_size(msg)
+        m = self.metrics
+        m.messages += 1
+        m.message_bytes += size
+        sender_worker = worker_of[self._current_vertex]
+        m.worker_sent[sender_worker] += 1
+        if sender_worker != worker_of[dst]:
+            m.net_messages += 1
+            m.net_bytes += size
+        if self._track_makespan:
+            self._step_work[sender_worker] += 1
+            self._step_work[worker_of[dst]] += 1
+
+    def _enqueue(self, dst: int, msg: tuple) -> None:
+        bucket = self._outbox.get(dst)
+        if bucket is None:
+            self._outbox[dst] = [msg]
+        else:
+            bucket.append(msg)
+
+    def send_to_out_nbrs(self, vid: int, msg: tuple) -> None:
+        graph = self.graph
+        for dst in graph.out_targets[graph.out_offsets[vid] : graph.out_offsets[vid + 1]]:
+            self.send(dst, msg)
+
+    def get_global(self, name: str) -> Any:
+        return self.globals.broadcast[name]
+
+    def put_global(self, name: str, op: GlobalOp, value: Any) -> None:
+        self.globals.put_reduce(name, op, value)
+
+    def vote_to_halt(self, vid: int) -> None:
+        if self._voted is not None:
+            self._voted[vid] = 1
+
+    # ------------------------------------------------------------------
+    # Master-side API
+    # ------------------------------------------------------------------
+
+    def get_agg(self, name: str, default: Any = None) -> Any:
+        return self.globals.get_aggregated(name, default)
+
+    def put_broadcast(self, name: str, value: Any) -> None:
+        self.globals.put_broadcast(name, value)
+        self.metrics.broadcast_values += 1
+
+    def halt(self, result: Any = None) -> None:
+        self._halt = True
+        if result is not None:
+            self.result = result
+
+    def set_result(self, value: Any) -> None:
+        self.result = value
+
+    def pick_random_node(self) -> int:
+        return self.rng.randrange(self.graph.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunMetrics:
+        start = time.perf_counter()
+        graph = self.graph
+        voted = self._voted
+        halt_reason = "max_supersteps"
+        while self.superstep < self._max_supersteps:
+            # Master phase: sees globals aggregated from the previous superstep.
+            if self._master_compute is not None:
+                self._master_compute(self)
+                if self._halt:
+                    halt_reason = "master_halt"
+                    break
+
+            # Deliver messages sent last superstep.
+            self._inbox, self._outbox = self._outbox, {}
+            inbox = self._inbox
+
+            if voted is not None:
+                for dst in inbox:
+                    voted[dst] = 0
+                if self.superstep > 0 and not inbox and all(voted):
+                    halt_reason = "all_halted"
+                    break
+
+            before = self.metrics.messages
+            compute = self._vertex_compute
+            track = self._track_makespan
+            step_work = self._step_work
+            worker_of = self._worker_of
+            if voted is None:
+                for vid in range(graph.num_nodes):
+                    self._current_vertex = vid
+                    if track:
+                        step_work[worker_of[vid]] += 1
+                    compute(self, vid, inbox.get(vid, _NO_MESSAGES))
+            else:
+                for vid in range(graph.num_nodes):
+                    if voted[vid]:
+                        continue
+                    self._current_vertex = vid
+                    if track:
+                        step_work[worker_of[vid]] += 1
+                    compute(self, vid, inbox.get(vid, _NO_MESSAGES))
+            if self._record_per_superstep:
+                self.metrics.per_superstep_messages.append(self.metrics.messages - before)
+            if track:
+                self.metrics.makespan_units += max(step_work)
+                self.metrics.ideal_units += sum(step_work) / self.num_workers
+                for w in range(self.num_workers):
+                    step_work[w] = 0
+
+            if self._combined:
+                for (_, dst, _), msg in self._combined.items():
+                    self._enqueue(dst, msg)
+                self._combined.clear()
+
+            self.globals.end_superstep()
+            self.superstep += 1
+
+        self.metrics.supersteps = self.superstep
+        self.metrics.wall_seconds = time.perf_counter() - start
+        self.metrics.result = self.result
+        self.metrics.halt_reason = halt_reason
+        return self.metrics

@@ -1,0 +1,6 @@
+"""Pregel intermediate representation."""
+
+from . import ir
+from .ir import PregelIR
+
+__all__ = ["ir", "PregelIR"]

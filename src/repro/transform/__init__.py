@@ -1,0 +1,5 @@
+"""Green-Marl to Green-Marl transformation passes (paper §4.1)."""
+
+from .pipeline import CanonicalProgram, RuleLog, TABLE3_ROWS, to_canonical
+
+__all__ = ["CanonicalProgram", "RuleLog", "TABLE3_ROWS", "to_canonical"]

@@ -1,0 +1,307 @@
+"""BFS-order traversal lowering (§4.1, "BFS-order Graph Traversal").
+
+``InBFS (v: G.Nodes From s)[F] { B } InReverse[RF] { RB }`` is rewritten into
+level-synchronous frontier expansion:
+
+* a compiler-inserted node property ``_lev`` holds each vertex's hop distance
+  from the root (``+INF`` = unvisited);
+* a forward ``While`` loop executes the user body ``B`` for the frontier
+  (``v._lev == _curr``), then expands the frontier by marking unvisited
+  out-neighbors;
+* the reverse body runs in a second ``While`` loop sweeping ``_curr`` back
+  down to zero;
+* ``UpNbrs`` / ``DownNbrs`` iterations inside the bodies become ``InNbrs`` /
+  ``Nbrs`` iterations with level filters (``w._lev == _curr ∓ 1``).
+
+The output uses only plain loops, so the later Dissection / Edge-Flipping /
+translation rules apply uniformly (the paper calls this "fusing" the user
+code with the expanded BFS code).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.ast import (
+    Assign,
+    Bfs,
+    Binary,
+    BinOp,
+    Block,
+    BoolLit,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    InfLit,
+    IntLit,
+    IterKind,
+    IterSource,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    ReduceOp,
+    Stmt,
+    Ternary,
+    Unary,
+    UnOp,
+    VarDecl,
+    While,
+    land,
+)
+from ..lang import types as ty
+from ..lang.errors import TransformError
+from .rewriter import NameGenerator, clone_expr
+
+
+class BfsLowering:
+    def __init__(self, proc: Procedure, graph_name: str, names: NameGenerator):
+        self._proc = proc
+        self._graph = graph_name
+        self._names = names
+        self.applied = False
+
+    def run(self) -> None:
+        self._proc.body = self._rewrite_block(self._proc.body)
+
+    def _rewrite_block(self, block: Block) -> Block:
+        out: list[Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, Bfs):
+                out.extend(self._lower_bfs(stmt))
+            elif isinstance(stmt, If):
+                stmt.then = self._rewrite_block(stmt.then)
+                if stmt.other is not None:
+                    stmt.other = self._rewrite_block(stmt.other)
+                out.append(stmt)
+            elif isinstance(stmt, While):
+                stmt.body = self._rewrite_block(stmt.body)
+                out.append(stmt)
+            elif isinstance(stmt, Foreach):
+                self._forbid_nested_bfs(stmt.body)
+                out.append(stmt)
+            elif isinstance(stmt, Block):
+                out.append(self._rewrite_block(stmt))
+            else:
+                out.append(stmt)
+        return Block(out, span=block.span)
+
+    @staticmethod
+    def _forbid_nested_bfs(block: Block) -> None:
+        for node in ast.walk(block):
+            if isinstance(node, Bfs):
+                raise TransformError(
+                    "InBFS inside a parallel loop is not supported", node.span
+                )
+
+    # -- the lowering itself -------------------------------------------------
+
+    def _lower_bfs(self, bfs: Bfs) -> list[Stmt]:
+        self.applied = True
+        span = bfs.span
+        lev = self._names.fresh("lev")
+        curr = self._names.fresh("curr")
+        fin = self._names.fresh("fin")
+        root = bfs.root
+        graph = Ident(self._graph, span=span)
+
+        stmts: list[Stmt] = []
+        # N_P<Int> _lev;  Int _curr = 0;  Bool _fin = False;
+        stmts.append(VarDecl(ty.NodePropType(ty.INT), [lev], None, span=span))
+        stmts.append(VarDecl(ty.INT, [curr], IntLit(0, span=span), span=span))
+        stmts.append(VarDecl(ty.BOOL, [fin], BoolLit(False, span=span), span=span))
+
+        # Foreach (i: G.Nodes) { i._lev = (i == root) ? 0 : +INF; }
+        init_it = self._names.fresh("n")
+        init_value = Ternary(
+            Binary(BinOp.EQ, Ident(init_it, span=span), clone_expr(root), span=span),
+            IntLit(0, span=span),
+            InfLit(span=span),
+            span=span,
+        )
+        stmts.append(
+            Foreach(
+                init_it,
+                IterSource(clone_expr(graph), IterKind.NODES, span=span),
+                None,
+                Block(
+                    [Assign(PropAccess(Ident(init_it, span=span), lev, span=span), init_value, span=span)],
+                    span=span,
+                ),
+                True,
+                span=span,
+            )
+        )
+
+        # Forward sweep.
+        frontier_filter: Expr = Binary(
+            BinOp.EQ,
+            PropAccess(Ident(bfs.iterator, span=span), lev, span=span),
+            Ident(curr, span=span),
+            span=span,
+        )
+        body = self._rewrite_bfs_neighborhoods(bfs.body, bfs.iterator, lev, curr)
+        user_filter = frontier_filter if bfs.filter is None else land(frontier_filter, bfs.filter)
+        user_loop = Foreach(
+            bfs.iterator,
+            IterSource(clone_expr(graph), IterKind.NODES, span=span),
+            user_filter,
+            body,
+            True,
+            span=span,
+        )
+
+        expand_inner_it = self._names.fresh("t")
+        expand_inner = Foreach(
+            expand_inner_it,
+            IterSource(Ident(bfs.iterator, span=span), IterKind.NBRS, span=span),
+            Binary(
+                BinOp.EQ,
+                PropAccess(Ident(expand_inner_it, span=span), lev, span=span),
+                InfLit(span=span),
+                span=span,
+            ),
+            Block(
+                [
+                    Assign(
+                        PropAccess(Ident(expand_inner_it, span=span), lev, span=span),
+                        Binary(BinOp.ADD, Ident(curr, span=span), IntLit(1, span=span), span=span),
+                        span=span,
+                    ),
+                    ReduceAssign(
+                        Ident(fin, span=span), ReduceOp.ALL, BoolLit(False, span=span), None, span=span
+                    ),
+                ],
+                span=span,
+            ),
+            True,
+            span=span,
+        )
+        expand_loop = Foreach(
+            bfs.iterator,
+            IterSource(clone_expr(graph), IterKind.NODES, span=span),
+            clone_expr(frontier_filter),
+            Block([expand_inner], span=span),
+            True,
+            span=span,
+        )
+
+        forward_body = Block(
+            [
+                Assign(Ident(fin, span=span), BoolLit(True, span=span), span=span),
+                user_loop,
+                expand_loop,
+                Assign(
+                    Ident(curr, span=span),
+                    Binary(BinOp.ADD, Ident(curr, span=span), IntLit(1, span=span), span=span),
+                    span=span,
+                ),
+            ],
+            span=span,
+        )
+        stmts.append(
+            While(Unary(UnOp.NOT, Ident(fin, span=span), span=span), forward_body, span=span)
+        )
+
+        # Reverse sweep (optional).
+        if bfs.reverse_body is not None:
+            stmts.append(
+                Assign(
+                    Ident(curr, span=span),
+                    Binary(BinOp.SUB, Ident(curr, span=span), IntLit(1, span=span), span=span),
+                    span=span,
+                )
+            )
+            rev_frontier: Expr = Binary(
+                BinOp.EQ,
+                PropAccess(Ident(bfs.iterator, span=span), lev, span=span),
+                Ident(curr, span=span),
+                span=span,
+            )
+            rbody = self._rewrite_bfs_neighborhoods(bfs.reverse_body, bfs.iterator, lev, curr)
+            rfilter = (
+                rev_frontier
+                if bfs.reverse_filter is None
+                else land(rev_frontier, bfs.reverse_filter)
+            )
+            rev_loop = Foreach(
+                bfs.iterator,
+                IterSource(clone_expr(graph), IterKind.NODES, span=span),
+                rfilter,
+                rbody,
+                True,
+                span=span,
+            )
+            reverse_body = Block(
+                [
+                    rev_loop,
+                    Assign(
+                        Ident(curr, span=span),
+                        Binary(BinOp.SUB, Ident(curr, span=span), IntLit(1, span=span), span=span),
+                        span=span,
+                    ),
+                ],
+                span=span,
+            )
+            stmts.append(
+                While(
+                    Binary(BinOp.GE, Ident(curr, span=span), IntLit(0, span=span), span=span),
+                    reverse_body,
+                    span=span,
+                )
+            )
+        return stmts
+
+    def _rewrite_bfs_neighborhoods(self, block: Block, bfs_iter: str, lev: str, curr: str) -> Block:
+        """Rewrite UpNbrs/DownNbrs loops inside a BFS body into level-filtered
+        InNbrs/Nbrs loops."""
+        for node in ast.walk(block):
+            if isinstance(node, Foreach) and node.source.kind in (
+                IterKind.UP_NBRS,
+                IterKind.DOWN_NBRS,
+            ):
+                self._check_bfs_relative_driver(node.source.driver, bfs_iter, node)
+                span = node.span
+                if node.source.kind is IterKind.UP_NBRS:
+                    node.source.kind = IterKind.IN_NBRS
+                    level = Binary(
+                        BinOp.SUB, Ident(curr, span=span), IntLit(1, span=span), span=span
+                    )
+                else:
+                    node.source.kind = IterKind.NBRS
+                    level = Binary(
+                        BinOp.ADD, Ident(curr, span=span), IntLit(1, span=span), span=span
+                    )
+                level_filter = Binary(
+                    BinOp.EQ,
+                    PropAccess(Ident(node.iterator, span=span), lev, span=span),
+                    level,
+                    span=span,
+                )
+                node.filter = (
+                    level_filter if node.filter is None else land(level_filter, node.filter)
+                )
+            elif isinstance(node, ast.ReduceExpr) and node.source.kind in (
+                IterKind.UP_NBRS,
+                IterKind.DOWN_NBRS,
+            ):
+                raise TransformError(
+                    "internal: reduction over UpNbrs/DownNbrs must be extracted "
+                    "by the normalizer before BFS lowering",
+                    node.span,
+                )
+        return block
+
+    @staticmethod
+    def _check_bfs_relative_driver(driver: Expr, bfs_iter: str, loop: Foreach) -> None:
+        if not (isinstance(driver, Ident) and driver.name == bfs_iter):
+            raise TransformError(
+                "UpNbrs/DownNbrs may only be iterated from the BFS iterator",
+                loop.span,
+            )
+
+
+def lower_bfs(proc: Procedure, graph_name: str, names: NameGenerator) -> bool:
+    """Lower every InBFS/InReverse in ``proc``; returns True if any was found."""
+    lowering = BfsLowering(proc, graph_name, names)
+    lowering.run()
+    return lowering.applied

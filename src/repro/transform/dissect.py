@@ -1,0 +1,292 @@
+"""Dissecting Nested Loops (§4.1) — preprocessing for Edge Flipping.
+
+Two rewrites, exactly as in the paper:
+
+1. **Scalar promotion.**  An outer-loop-scoped scalar modified inside an inner
+   neighborhood loop (e.g. the ``_C`` temporary produced by desugaring
+   ``Count``) is replaced by a compiler temporary *node property* of the outer
+   iterator, so the accumulation becomes a property update that Edge Flipping
+   can handle.
+
+2. **Loop fission.**  If, after promotion, an inner loop that must be flipped
+   is not the sole statement of its outer loop, the outer loop is split into
+   multiple loops so that each flippable inner loop becomes the only statement
+   of its own outer loop.  Scalars that would cross the new loop boundaries
+   are promoted to temporary properties as well.
+
+Fission preserves semantics because Green-Marl parallel-loop iterations are
+independent up to reductions; the pass additionally verifies that the loop
+filter does not read properties written by earlier fission segments (which
+would change the filtered set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import (
+    Assign,
+    Block,
+    DeferredAssign,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    IterKind,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    Stmt,
+    VarDecl,
+    While,
+)
+from ..lang import types as ty
+from ..lang.errors import TransformError
+from ..analysis.access import Access, AccessKind, stmt_reads, stmt_writes
+from ..analysis.loops import classify_inner_loop, find_inner_loops
+from .rewriter import NameGenerator, clone_expr, rewrite_exprs_in_block
+
+
+@dataclass
+class DissectResult:
+    promoted: bool = False
+    fissioned: bool = False
+
+    @property
+    def applied(self) -> bool:
+        return self.promoted or self.fissioned
+
+
+class Dissector:
+    def __init__(self, proc: Procedure, graph_name: str, names: NameGenerator):
+        self._proc = proc
+        self._graph = graph_name
+        self._names = names
+        self._new_props: list[VarDecl] = []
+        self.result = DissectResult()
+
+    def run(self) -> None:
+        self._proc.body = self._rewrite_block(self._proc.body)
+        self._proc.body.stmts[:0] = self._new_props
+
+    # -- sequential-level walk ------------------------------------------------
+
+    def _rewrite_block(self, block: Block) -> Block:
+        out: list[Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, Foreach) and stmt.source.kind is IterKind.NODES:
+                out.extend(self._dissect_outer(stmt))
+            elif isinstance(stmt, If):
+                stmt.then = self._rewrite_block(stmt.then)
+                if stmt.other is not None:
+                    stmt.other = self._rewrite_block(stmt.other)
+                out.append(stmt)
+            elif isinstance(stmt, While):
+                stmt.body = self._rewrite_block(stmt.body)
+                out.append(stmt)
+            elif isinstance(stmt, Block):
+                out.append(self._rewrite_block(stmt))
+            else:
+                out.append(stmt)
+        return Block(out, span=block.span)
+
+    # -- per-outer-loop logic ---------------------------------------------------
+
+    def _dissect_outer(self, outer: Foreach) -> list[Stmt]:
+        inner_loops = find_inner_loops(outer)
+        if not inner_loops:
+            return [outer]
+        reports = [classify_inner_loop(outer, inner) for inner in inner_loops]
+        for report in reports:
+            if report.is_mixed:
+                raise TransformError(
+                    "inner loop writes both its own iterator's properties and "
+                    "outer-scoped state; no transformation rule applies",
+                    report.loop.span,
+                )
+        # Step 1: promote outer-body scalars written inside inner loops.
+        to_promote: list[str] = []
+        for report in reports:
+            for name in report.outer_scalar_writes:
+                if name not in to_promote:
+                    to_promote.append(name)
+        if to_promote:
+            self._promote(outer, to_promote)
+            self.result.promoted = True
+
+        # Which inner loops must be flipped (write outer-iterator properties)?
+        pull_loops = [
+            report.loop
+            for report in (classify_inner_loop(outer, inner) for inner in inner_loops)
+            if report.is_pull
+        ]
+        if not pull_loops:
+            return [outer]
+        self._check_pull_loops_at_top_level(outer, pull_loops)
+        if len(outer.body.stmts) == 1:
+            return [outer]  # already the sole statement; flip pass takes over
+
+        # Step 2: fission.
+        segments = self._segment(outer, set(pull_loops))
+        cross = self._cross_segment_scalars(outer, segments)
+        if cross:
+            self._promote(outer, sorted(cross))
+            self.result.promoted = True
+            segments = self._segment(outer, set(pull_loops))
+        self._check_filter_safety(outer, segments)
+        self.result.fissioned = True
+        loops: list[Stmt] = []
+        for segment in segments:
+            loops.append(
+                Foreach(
+                    outer.iterator,
+                    # each split keeps iterating all nodes of the same graph
+                    type(outer.source)(
+                        clone_expr(outer.source.driver), outer.source.kind, span=outer.source.span
+                    ),
+                    clone_expr(outer.filter) if outer.filter is not None else None,
+                    Block(list(segment), span=outer.span),
+                    True,
+                    span=outer.span,
+                )
+            )
+        return loops
+
+    @staticmethod
+    def _check_pull_loops_at_top_level(outer: Foreach, pull_loops: list[Foreach]) -> None:
+        top = set(id(s) for s in outer.body.stmts)
+        for loop in pull_loops:
+            if id(loop) not in top:
+                raise TransformError(
+                    "a neighborhood loop that requires edge flipping may not be "
+                    "nested under a conditional; no transformation rule applies",
+                    loop.span,
+                )
+
+    # -- promotion ---------------------------------------------------------------
+
+    def _promote(self, outer: Foreach, names: list[str]) -> None:
+        for name in names:
+            decl_type = self._remove_decl(outer.body, name)
+            prop_name = self._names.fresh(f"p_{name.lstrip('_')}")
+            self._new_props.append(
+                VarDecl(ty.NodePropType(decl_type), [prop_name], None, span=outer.span)
+            )
+            iterator = outer.iterator
+
+            def replace(e: Expr, _name=name, _prop=prop_name, _it=iterator) -> Expr:
+                if isinstance(e, Ident) and e.name == _name:
+                    return PropAccess(Ident(_it, span=e.span), _prop, span=e.span)
+                return e
+
+            rewrite_exprs_in_block(outer.body, replace)
+
+    def _remove_decl(self, body: Block, name: str) -> ty.Type:
+        """Remove ``name``'s declaration from the outer body (top level only);
+        an initializer becomes a plain assignment so promotion keeps it."""
+        for idx, stmt in enumerate(body.stmts):
+            if isinstance(stmt, VarDecl) and name in stmt.names:
+                decl_type = stmt.decl_type
+                replacement: list[Stmt] = []
+                remaining = [n for n in stmt.names if n != name]
+                if remaining:
+                    replacement.append(
+                        VarDecl(stmt.decl_type, remaining, stmt.init, span=stmt.span)
+                    )
+                    if stmt.init is not None and len(stmt.names) > 1:
+                        raise TransformError(
+                            "cannot promote one name of a multi-name initialized "
+                            "declaration",
+                            stmt.span,
+                        )
+                elif stmt.init is not None:
+                    replacement.append(
+                        Assign(Ident(name, span=stmt.span), stmt.init, span=stmt.span)
+                    )
+                body.stmts[idx : idx + 1] = replacement
+                return decl_type
+        raise TransformError(
+            f"scalar '{name}' written in an inner loop must be declared in the "
+            "outer loop body",
+            body.span,
+        )
+
+    # -- fission helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _segment(outer: Foreach, pull_loops: set) -> list[list[Stmt]]:
+        """Split the outer body's top-level statements into segments: each
+        pull loop alone, other statements grouped contiguously."""
+        pull_ids = {id(s) for s in pull_loops}
+        segments: list[list[Stmt]] = []
+        current: list[Stmt] = []
+        for stmt in outer.body.stmts:
+            if id(stmt) in pull_ids:
+                if current:
+                    segments.append(current)
+                    current = []
+                segments.append([stmt])
+            else:
+                current.append(stmt)
+        if current:
+            segments.append(current)
+        return segments
+
+    @staticmethod
+    def _cross_segment_scalars(outer: Foreach, segments: list[list[Stmt]]) -> set[str]:
+        """Scalars declared in one segment but referenced in another — they
+        must become temporary properties before fission."""
+
+        def scalar_names(accesses: list[Access]) -> set[str]:
+            return {a.var for a in accesses if a.kind is AccessKind.SCALAR}
+
+        declared_in: list[set[str]] = []
+        used_in: list[set[str]] = []
+        for segment in segments:
+            declared: set[str] = set()
+            used: set[str] = set()
+            for stmt in segment:
+                if isinstance(stmt, VarDecl):
+                    declared.update(stmt.names)
+                used |= scalar_names(stmt_reads(stmt))
+                used |= scalar_names(stmt_writes(stmt))
+            declared_in.append(declared)
+            used_in.append(used)
+        cross: set[str] = set()
+        for i, declared in enumerate(declared_in):
+            for j, used in enumerate(used_in):
+                if i != j:
+                    cross |= declared & used
+        return cross
+
+    @staticmethod
+    def _check_filter_safety(outer: Foreach, segments: list[list[Stmt]]) -> None:
+        if outer.filter is None or len(segments) < 2:
+            return
+        from ..analysis.access import expr_reads
+
+        filter_props = {
+            a.member
+            for a in expr_reads(outer.filter)
+            if a.kind is AccessKind.PROP and a.var == outer.iterator
+        }
+        written: set[str] = set()
+        for segment in segments[:-1]:
+            for stmt in segment:
+                for w in stmt_writes(stmt):
+                    if w.kind is AccessKind.PROP:
+                        written.add(w.member)
+        overlap = filter_props & written
+        if overlap:
+            raise TransformError(
+                f"cannot fission loop: filter reads propert{'ies' if len(overlap) > 1 else 'y'} "
+                f"{sorted(overlap)} written by an earlier fission segment",
+                outer.span,
+            )
+
+
+def dissect(proc: Procedure, graph_name: str, names: NameGenerator) -> DissectResult:
+    """Run the dissection pass in place."""
+    dissector = Dissector(proc, graph_name, names)
+    dissector.run()
+    return dissector.result

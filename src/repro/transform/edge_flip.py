@@ -1,0 +1,165 @@
+"""Flipping Edges (§4.1): converting message pulling into message pushing.
+
+A nest
+
+    Foreach (n: G.Nodes)[F_n]
+      Foreach (t: n.InNbrs)[F_t]
+        n.foo max= t.bar;
+
+reads neighbor data (``t.bar``) to update the outer vertex — a *pull*, which
+Pregel cannot express.  The pass swaps the two iterators and flips the edge
+direction of the inner iteration, producing the equivalent *push*:
+
+    Foreach (t: G.Nodes)[F_t  (t-only conjuncts)]
+      Foreach (n: t.Nbrs)[F_n && (n-referencing conjuncts of F_t)]
+        n.foo max= t.bar;
+
+Filter conjuncts that mention only the (new) outer iterator are evaluated at
+the sender; conjuncts mentioning the receiving vertex move onto the inner
+loop, where the §3.1 translation evaluates them at the receiver (any sender
+values they mention travel in the message payload).
+
+Preconditions (established by the Dissection pass): the outer loop's body is
+exactly the inner loop, and the inner loop only updates outer-scoped
+properties.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    Binary,
+    BinOp,
+    Block,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    IterKind,
+    IterSource,
+    MethodCall,
+    Procedure,
+    Stmt,
+    While,
+    flip_iter_kind,
+    land,
+    walk,
+)
+from ..lang.errors import TransformError
+from ..analysis.access import AccessKind, expr_reads
+from ..analysis.loops import classify_inner_loop
+
+
+def _conjuncts(expr: Expr | None) -> list[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, Binary) and expr.op is BinOp.AND:
+        return _conjuncts(expr.lhs) + _conjuncts(expr.rhs)
+    return [expr]
+
+
+def _mentions(expr: Expr, name: str) -> bool:
+    return any(a.var == name for a in expr_reads(expr))
+
+
+def _uses_to_edge(block: Block) -> bool:
+    return any(
+        isinstance(node, MethodCall) and node.name == "ToEdge" for node in walk(block)
+    )
+
+
+class EdgeFlipper:
+    def __init__(self, proc: Procedure):
+        self._proc = proc
+        self.applied = False
+
+    def run(self) -> None:
+        self._rewrite_block(self._proc.body)
+
+    def _rewrite_block(self, block: Block) -> None:
+        for idx, stmt in enumerate(block.stmts):
+            if isinstance(stmt, Foreach) and stmt.source.kind is IterKind.NODES:
+                flipped = self._maybe_flip(stmt)
+                if flipped is not None:
+                    block.stmts[idx] = flipped
+            elif isinstance(stmt, If):
+                self._rewrite_block(stmt.then)
+                if stmt.other is not None:
+                    self._rewrite_block(stmt.other)
+            elif isinstance(stmt, While):
+                self._rewrite_block(stmt.body)
+            elif isinstance(stmt, Block):
+                self._rewrite_block(stmt)
+
+    def _maybe_flip(self, outer: Foreach) -> Foreach | None:
+        if len(outer.body.stmts) != 1:
+            return None
+        inner = outer.body.stmts[0]
+        if not isinstance(inner, Foreach) or not inner.source.kind.is_neighborhood():
+            return None
+        report = classify_inner_loop(outer, inner)
+        if not report.is_pull:
+            return None
+        if report.is_mixed:
+            raise TransformError(
+                "inner loop both pushes and pulls; no transformation rule applies",
+                inner.span,
+            )
+        if report.outer_scalar_writes:
+            raise TransformError(
+                "internal: outer-scoped scalars must be promoted by the "
+                "Dissection pass before edge flipping",
+                inner.span,
+            )
+        driver = inner.source.driver
+        if not (isinstance(driver, Ident) and driver.name == outer.iterator):
+            raise TransformError(
+                "inner loop must iterate over the outer iterator's neighborhood",
+                inner.span,
+            )
+        if _uses_to_edge(inner.body):
+            raise TransformError(
+                "cannot flip a loop that reads edge properties: after flipping, "
+                "the edge would be accessed from its target vertex (§3.1, Edge "
+                "Properties)",
+                inner.span,
+            )
+        self.applied = True
+
+        receiver = outer.iterator  # old outer becomes the message receiver
+        sender = inner.iterator    # old inner becomes the message sender
+
+        sender_conjuncts: list[Expr] = []
+        receiver_conjuncts: list[Expr] = list(_conjuncts(outer.filter))
+        for conjunct in _conjuncts(inner.filter):
+            if _mentions(conjunct, receiver):
+                receiver_conjuncts.append(conjunct)
+            else:
+                sender_conjuncts.append(conjunct)
+
+        new_inner = Foreach(
+            receiver,
+            IterSource(
+                Ident(sender, span=inner.span),
+                flip_iter_kind(inner.source.kind),
+                span=inner.source.span,
+            ),
+            land(*receiver_conjuncts) if receiver_conjuncts else None,
+            inner.body,
+            True,
+            span=inner.span,
+        )
+        return Foreach(
+            sender,
+            IterSource(outer.source.driver, IterKind.NODES, span=outer.source.span),
+            land(*sender_conjuncts) if sender_conjuncts else None,
+            Block([new_inner], span=outer.body.span),
+            True,
+            span=outer.span,
+        )
+
+
+def flip_edges(proc: Procedure) -> bool:
+    """Apply the Edge-Flipping rule everywhere it is needed; True if fired."""
+    flipper = EdgeFlipper(proc)
+    flipper.run()
+    return flipper.applied

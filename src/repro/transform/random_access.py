@@ -1,0 +1,142 @@
+"""Random access in the sequential phase (§4.1).
+
+Pregel has no native support for reading or writing an arbitrary node's
+properties from the master.  Writes like ``s.dist = 0;`` occurring in a
+sequential phase are transformed into an extra vertex-parallel loop:
+
+    Foreach (n: G.Nodes)[n == s] { n.dist = 0; }
+
+Random *reads* in the sequential phase have no push-based equivalent (the
+paper's appendix discusses simulating them; its compiler — and ours —
+rejects them instead).
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    Assign,
+    Binary,
+    BinOp,
+    Block,
+    DeferredAssign,
+    Expr,
+    Foreach,
+    Ident,
+    If,
+    IterKind,
+    IterSource,
+    Procedure,
+    PropAccess,
+    ReduceAssign,
+    Stmt,
+    While,
+)
+from ..lang.errors import TransformError
+from ..analysis.access import AccessKind, expr_reads
+from .rewriter import NameGenerator, clone_expr
+
+
+class RandomAccessRewriter:
+    def __init__(self, proc: Procedure, graph_name: str, names: NameGenerator):
+        self._proc = proc
+        self._graph = graph_name
+        self._names = names
+        self.applied = False
+
+    def run(self) -> None:
+        self._proc.body = self._rewrite_block(self._proc.body)
+
+    def _rewrite_block(self, block: Block) -> Block:
+        out: list[Stmt] = []
+        for stmt in block.stmts:
+            out.extend(self._rewrite_stmt(stmt))
+        return Block(out, span=block.span)
+
+    def _rewrite_stmt(self, stmt: Stmt) -> list[Stmt]:
+        from ..lang.ast import Return, VarDecl
+
+        if isinstance(stmt, VarDecl):
+            self._check_sequential_expr(stmt.init)
+            return [stmt]
+        if isinstance(stmt, Return):
+            self._check_sequential_expr(stmt.expr)
+            return [stmt]
+        if isinstance(stmt, (Assign, ReduceAssign, DeferredAssign)):
+            target = stmt.target
+            if self._is_node_var_prop(target):
+                self._check_sequential_expr(stmt.expr)
+                return [self._to_guarded_loop(stmt)]
+            self._check_sequential_expr(stmt.expr)
+            return [stmt]
+        if isinstance(stmt, If):
+            self._check_sequential_expr(stmt.cond)
+            stmt.then = self._rewrite_block(stmt.then)
+            if stmt.other is not None:
+                stmt.other = self._rewrite_block(stmt.other)
+            return [stmt]
+        if isinstance(stmt, While):
+            self._check_sequential_expr(stmt.cond)
+            stmt.body = self._rewrite_block(stmt.body)
+            return [stmt]
+        if isinstance(stmt, Block):
+            return [self._rewrite_block(stmt)]
+        # Foreach bodies are vertex-parallel phases — random access there is
+        # legal (Random Writing, §3.1) and handled by the translator.
+        return [stmt]
+
+    @staticmethod
+    def _is_node_var_prop(target: Expr) -> bool:
+        return (
+            isinstance(target, PropAccess)
+            and isinstance(target.target, Ident)
+            and target.target.type is not None
+            and target.target.type.is_node()
+        )
+
+    def _check_sequential_expr(self, expr: Expr | None) -> None:
+        """Random property reads are not allowed in sequential phases."""
+        if expr is None:
+            return
+        for access in expr_reads(expr):
+            if access.kind in (AccessKind.PROP, AccessKind.EDGE_PROP):
+                raise TransformError(
+                    f"random read of '{access}' in a sequential phase cannot be "
+                    "translated to Pregel (§3.2: random reading is not allowed)",
+                    expr.span,
+                    hint="restructure the algorithm to compute this value in a "
+                    "vertex-parallel loop and reduce it into a scalar",
+                )
+
+    def _to_guarded_loop(self, stmt: Stmt) -> Foreach:
+        assert isinstance(stmt, (Assign, ReduceAssign, DeferredAssign))
+        self.applied = True
+        target = stmt.target
+        assert isinstance(target, PropAccess) and isinstance(target.target, Ident)
+        node_var = target.target
+        span = stmt.span
+        it = self._names.fresh("n")
+        guard = Binary(
+            BinOp.EQ, Ident(it, span=span), Ident(node_var.name, span=span), span=span
+        )
+        new_target = PropAccess(Ident(it, span=span), target.prop, span=span)
+        if isinstance(stmt, Assign):
+            body_stmt: Stmt = Assign(new_target, clone_expr(stmt.expr), span=span)
+        elif isinstance(stmt, ReduceAssign):
+            body_stmt = ReduceAssign(new_target, stmt.op, clone_expr(stmt.expr), None, span=span)
+        else:
+            body_stmt = Assign(new_target, clone_expr(stmt.expr), span=span)
+        return Foreach(
+            it,
+            IterSource(Ident(self._graph, span=span), IterKind.NODES, span=span),
+            guard,
+            Block([body_stmt], span=span),
+            True,
+            span=span,
+        )
+
+
+def rewrite_random_access(proc: Procedure, graph_name: str, names: NameGenerator) -> bool:
+    """Apply the Random-Access-in-Sequential-Phase rule; True if it fired."""
+    rewriter = RandomAccessRewriter(proc, graph_name, names)
+    rewriter.run()
+    return rewriter.applied

@@ -1,0 +1,5 @@
+"""Canonical Green-Marl -> Pregel IR translation and IR optimizations."""
+
+from .translate import translate
+
+__all__ = ["translate"]

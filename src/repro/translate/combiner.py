@@ -1,0 +1,90 @@
+"""Message-combiner inference — an extension beyond the paper.
+
+Pregel lets programs register a *combiner* that folds messages headed for the
+same vertex at the sender, cutting network traffic for reduction-shaped
+communication.  The paper's compiler does not emit combiners (like
+vote-to-halt, it is listed among the things manual programmers tune); we add
+the analysis as an opt-in optimization and measure its effect in the
+ablation benchmarks.
+
+A tag is combinable when every receive site for it is exactly one
+
+    VFieldReduce(field, op, MsgField(0))
+
+with the same commutative-associative ``op`` everywhere and a single-field
+payload: then folding payloads with ``op`` before delivery is
+observationally equivalent to applying them one by one.  (Guarded or
+multi-statement receives — e.g. SSSP's updated-flag logic — are conservatively
+rejected; correct combining there would require a per-program proof.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..pregel.globalmap import GlobalOp, combine
+from ..pregelir.ir import MsgField, PregelIR, VFieldReduce, VIf, VMsgLoop, VStmt
+
+#: Reductions that are commutative and associative — safe to pre-fold.
+_COMBINABLE_OPS = (
+    GlobalOp.SUM,
+    GlobalOp.PRODUCT,
+    GlobalOp.MIN,
+    GlobalOp.MAX,
+    GlobalOp.AND,
+    GlobalOp.OR,
+)
+
+
+def _msg_loops(stmts: list[VStmt], out: list[VMsgLoop]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, VMsgLoop):
+            out.append(stmt)
+        elif isinstance(stmt, VIf):
+            _msg_loops(stmt.then, out)
+            _msg_loops(stmt.other, out)
+
+
+def infer_combiners(ir: PregelIR) -> dict[int, GlobalOp]:
+    """Tags whose receive code is a pure single-field reduction, with the op
+    to combine by."""
+    loops: list[VMsgLoop] = []
+    for phase in ir.phases.values():
+        _msg_loops(phase.receive, loops)
+        _msg_loops(phase.compute, loops)
+
+    per_tag: dict[int, set[GlobalOp] | None] = {}
+    for loop in loops:
+        ops = per_tag.setdefault(loop.tag, set())
+        if ops is None:
+            continue
+        if (
+            len(loop.body) == 1
+            and isinstance(loop.body[0], VFieldReduce)
+            and loop.body[0].op in _COMBINABLE_OPS
+            and isinstance(loop.body[0].expr, MsgField)
+            and loop.body[0].expr.index == 0
+        ):
+            ops.add(loop.body[0].op)
+        else:
+            per_tag[loop.tag] = None  # disqualified
+
+    result: dict[int, GlobalOp] = {}
+    for tag, ops in per_tag.items():
+        if ops and len(ops) == 1 and len(ir.messages[tag].fields) == 1:
+            result[tag] = next(iter(ops))
+    return result
+
+
+def combiner_functions(
+    combiners: dict[int, GlobalOp]
+) -> dict[int, Callable[[tuple, tuple], tuple]]:
+    """Engine-ready fold functions: combine two messages of the same tag."""
+
+    def make(tag: int, op: GlobalOp):
+        def fold(a: tuple, b: tuple) -> tuple:
+            return (tag, combine(op, a[1], b[1]))
+
+        return fold
+
+    return {tag: make(tag, op) for tag, op in combiners.items()}

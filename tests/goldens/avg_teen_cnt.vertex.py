@@ -1,0 +1,31 @@
+# Generated Pregel vertex program for 'avg_teen_cnt'.
+def make_vertex_compute(env):
+    globals().update(env)
+    
+    def _phase_0(ctx, vid, messages):
+        # par@4+par@4
+        F__gm_p_gm_r00[vid] = 0
+        if ((F_age[vid] >= 13) and (F_age[vid] <= 19)):
+            if OUT_OFF[vid] != OUT_OFF[vid + 1]:
+                _msg = (0,)
+                for _i in range(OUT_OFF[vid], OUT_OFF[vid + 1]):
+                    ctx.send(OUT_TGT[_i], _msg)
+    
+    def _phase_2(ctx, vid, messages):
+        # recv@4+par@4+par@7+par@7
+        for _m in messages:
+            if _m[0] == 0:
+                F__gm_p_gm_r00[vid] = F__gm_p_gm_r00[vid] + 1
+        F_teen_cnt[vid] = F__gm_p_gm_r00[vid]
+        if (F_age[vid] > B['K']):
+            ctx.put_global('_gm_r1', OP_SUM, F_teen_cnt[vid])
+        if (F_age[vid] > B['K']):
+            ctx.put_global('_gm_r2', OP_SUM, 1)
+    
+    _DISPATCH = {0: _phase_0, 2: _phase_2}
+    
+    def vertex_compute(ctx, vid, messages):
+        _fn = _DISPATCH.get(B.get('_state', -1))
+        if _fn is not None:
+            _fn(ctx, vid, messages)
+    return vertex_compute

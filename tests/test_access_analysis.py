@@ -1,0 +1,164 @@
+"""Unit tests for the access-set analysis and loop classification — the
+dataflow machinery behind payload inference and the §4.1 transformations."""
+
+import pytest
+
+from repro.analysis.access import (
+    Access,
+    AccessKind,
+    declared_names,
+    expr_reads,
+    lvalue_access,
+    stmt_reads,
+    stmt_writes,
+)
+from repro.analysis.loops import classify_inner_loop, find_inner_loops
+from repro.lang import parse_procedure
+from repro.lang.typecheck import typecheck
+
+
+def prepped(src: str):
+    proc = parse_procedure(src)
+    typecheck(proc)
+    return proc
+
+
+def body_of(src: str):
+    return prepped(src).body.stmts
+
+
+class TestExprReads:
+    def test_scalar_and_prop_reads(self):
+        (loop,) = body_of(
+            "Procedure p(G: Graph, a: N_P<Int>, K: Int) {"
+            "  Foreach (n: G.Nodes)[n.a > K] { } }"
+        )
+        reads = expr_reads(loop.filter)
+        assert Access(AccessKind.PROP, "n", "a") in reads
+        assert Access(AccessKind.SCALAR, "K") in reads
+
+    def test_method_read(self):
+        stmts = body_of(
+            "Procedure p(G: Graph) { Foreach (n: G.Nodes) { Int d = n.Degree(); } }"
+        )
+        decl = stmts[0].body.stmts[0]
+        assert Access(AccessKind.METHOD, "n", "Degree") in expr_reads(decl.init)
+
+    def test_edge_prop_read_distinguished(self):
+        stmts = body_of(
+            "Procedure p(G: Graph, w: E_P<Int>) {"
+            "  Foreach (n: G.Nodes) { Foreach (s: n.Nbrs) {"
+            "    Edge e = s.ToEdge(); Int x = e.w; } } }"
+        )
+        decl = stmts[0].body.stmts[0].body.stmts[1]
+        assert Access(AccessKind.EDGE_PROP, "e", "w") in expr_reads(decl.init)
+
+    def test_reduce_expr_reads_cover_filter_and_body(self):
+        stmts = body_of(
+            "Procedure p(G: Graph, a, b: N_P<Int>): Int {"
+            "  Return Sum(u: G.Nodes)[u.a > 0]{u.b}; }"
+        )
+        reads = expr_reads(stmts[0].expr)
+        members = {(r.kind, r.member) for r in reads}
+        assert (AccessKind.PROP, "a") in members
+        assert (AccessKind.PROP, "b") in members
+
+
+class TestWritesAndReads:
+    def test_reduce_assign_reads_its_target(self):
+        stmts = body_of("Procedure p(G: Graph) { Int s = 0; s += 1; }")
+        reads = stmt_reads(stmts[1])
+        assert Access(AccessKind.SCALAR, "s") in reads
+
+    def test_plain_assign_does_not_read_target(self):
+        stmts = body_of("Procedure p(G: Graph) { Int s = 0; s = 1; }")
+        assert Access(AccessKind.SCALAR, "s") not in stmt_reads(stmts[1])
+
+    def test_prop_write_reads_the_handle(self):
+        stmts = body_of(
+            "Procedure p(G: Graph, a: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { n.a = 1; } }"
+        )
+        assign = stmts[0].body.stmts[0]
+        assert Access(AccessKind.SCALAR, "n") in stmt_reads(assign)
+        assert stmt_writes(assign) == [Access(AccessKind.PROP, "n", "a")]
+
+    def test_recursive_collection(self):
+        (loop,) = body_of(
+            "Procedure p(G: Graph, a: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { If (n.a > 0) { n.a = 0; } } }"
+        )
+        assert Access(AccessKind.PROP, "n", "a") in stmt_writes(loop)
+
+    def test_lvalue_access_rejects_complex_targets(self):
+        from repro.lang.ast import Binary, BinOp, IntLit
+
+        with pytest.raises(ValueError):
+            lvalue_access(Binary(BinOp.ADD, IntLit(1), IntLit(2)))
+
+
+class TestDeclaredNames:
+    def test_descends_into_if_but_not_loops(self):
+        (loop,) = body_of(
+            "Procedure p(G: Graph, f: N_P<Bool>) {"
+            "  Foreach (n: G.Nodes) {"
+            "    Int a = 0;"
+            "    If (n.f) { Int b = 1; }"
+            "    Foreach (t: n.Nbrs) { Int c = 2; }"
+            "  } }"
+        )
+        names = declared_names(loop.body)
+        assert names == {"a", "b"}
+
+
+class TestLoopClassification:
+    def nest(self, body: str, props="a: N_P<Int>, b: N_P<Int>"):
+        (loop,) = body_of(
+            f"Procedure p(G: Graph, {props}) {{"
+            f"  Foreach (n: G.Nodes) {{ {body} }} }}"
+        )
+        inners = find_inner_loops(loop)
+        assert len(inners) == 1
+        return classify_inner_loop(loop, inners[0])
+
+    def test_push_classification(self):
+        report = self.nest("Foreach (t: n.Nbrs) { t.a += n.b; }")
+        assert report.is_push and not report.is_pull
+        assert report.inner_prop_writes == ["a"]
+
+    def test_pull_prop_classification(self):
+        report = self.nest("Foreach (t: n.Nbrs) { n.a += t.b; }")
+        assert report.is_pull and not report.is_push
+        assert report.outer_prop_writes == ["a"]
+
+    def test_pull_scalar_classification(self):
+        report = self.nest("Int s = 0; Foreach (t: n.Nbrs) { s += t.b; }")
+        assert report.outer_scalar_writes == ["s"]
+
+    def test_global_scalar_not_outer(self):
+        (decl, loop) = body_of(
+            "Procedure p(G: Graph, b: N_P<Int>) {"
+            "  Int s = 0;"
+            "  Foreach (n: G.Nodes) { Foreach (t: n.Nbrs) { s += t.b; } } }"
+        )
+        report = classify_inner_loop(loop, find_inner_loops(loop)[0])
+        assert report.global_scalar_writes == ["s"]
+        assert not report.is_pull
+
+    def test_mixed(self):
+        report = self.nest("Foreach (t: n.Nbrs) { t.a += 1; n.b += 1; }")
+        assert report.is_mixed
+
+    def test_inner_locals_excluded(self):
+        report = self.nest("Foreach (t: n.Nbrs) { Int x = t.b; t.a += x; }")
+        assert not report.is_pull
+
+    def test_find_inner_loops_through_if(self):
+        (loop,) = body_of(
+            "Procedure p(G: Graph, f: N_P<Bool>, a: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) {"
+            "    If (n.f) { Foreach (t: n.Nbrs) { t.a += 1; } }"
+            "    Else { Foreach (t: n.Nbrs) { t.a += 2; } }"
+            "  } }"
+        )
+        assert len(find_inner_loops(loop)) == 2

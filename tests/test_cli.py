@@ -1,0 +1,88 @@
+"""CLI tests: every subcommand exercised through ``main(argv)``."""
+
+import pytest
+
+from repro.algorithms.sources import source_path
+from repro.cli import main
+
+
+def gm(name: str) -> str:
+    return str(source_path(name))
+
+
+class TestCompileCommand:
+    def test_emit_states(self, capsys):
+        assert main(["compile", gm("pagerank"), "--emit", "states"]) == 0
+        out = capsys.readouterr().out
+        assert "PregelIR pagerank" in out
+        assert "applied rules" in out
+
+    def test_emit_java(self, capsys):
+        assert main(["compile", gm("sssp"), "--emit", "java"]) == 0
+        assert "public class Sssp" in capsys.readouterr().out
+
+    def test_emit_canonical(self, capsys):
+        assert main(["compile", gm("avg_teen_cnt"), "--emit", "canonical"]) == 0
+        assert "Foreach" in capsys.readouterr().out
+
+    def test_emit_python(self, capsys):
+        assert main(["compile", gm("bc_approx"), "--emit", "python"]) == 0
+        assert "def vertex_compute" in capsys.readouterr().out
+
+    def test_optimization_flags(self, capsys):
+        main(["compile", gm("pagerank"), "--emit", "states"])
+        merged = capsys.readouterr().out
+        main(["compile", gm("pagerank"), "--emit", "states", "--no-intra-loop", "--no-state-merging"])
+        plain = capsys.readouterr().out
+        assert plain.count("phase") > merged.count("phase")
+
+    def test_bad_program_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.gm"
+        bad.write_text(
+            "Procedure p(G: Graph): Int { Foreach (n: G.Nodes) { Return 1; } }"
+        )
+        assert main(["compile", str(bad)]) == 1
+        assert "not pregel-canonical" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_avg_teen(self, capsys):
+        code = main(
+            ["run", gm("avg_teen_cnt"), "--arg", "K=30", "--scale", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result:" in out and "output teen_cnt" in out
+
+    def test_run_on_edge_list_file(self, tmp_path, capsys):
+        from repro.graphgen import load_graph, save_edge_list
+
+        path = tmp_path / "g.txt"
+        save_edge_list(load_graph("twitter", 0.05), path)
+        code = main(["run", gm("pagerank"), "--graph-file", str(path),
+                     "--arg", "e=1e-9", "--arg", "d=0.85", "--arg", "max_iter=3"])
+        assert code == 0
+        assert "metrics:" in capsys.readouterr().out
+
+
+class TestInterpCommand:
+    def test_interp_matches_run(self, capsys):
+        main(["interp", gm("avg_teen_cnt"), "--arg", "K=30", "--scale", "0.05"])
+        interp_out = capsys.readouterr().out
+        main(["run", gm("avg_teen_cnt"), "--arg", "K=30", "--scale", "0.05"])
+        run_out = capsys.readouterr().out
+        interp_result = next(l for l in interp_out.splitlines() if l.startswith("result:"))
+        run_result = next(l for l in run_out.splitlines() if l.startswith("result:"))
+        assert interp_result == run_result
+
+
+class TestArgParsing:
+    def test_value_types(self, capsys):
+        # booleans, ints and floats all parse
+        code = main(["run", gm("pagerank"), "--scale", "0.05",
+                     "--arg", "e=0.001", "--arg", "d=0.85", "--arg", "max_iter=2"])
+        assert code == 0
+
+    def test_malformed_arg(self):
+        with pytest.raises(SystemExit):
+            main(["run", gm("pagerank"), "--arg", "notanassignment"])

@@ -1,0 +1,128 @@
+"""Message-combiner extension: inference, engine folding, and equivalence."""
+
+import pytest
+
+from repro.compiler import compile_algorithm
+from repro.graphgen import attach_standard_props, uniform_random
+from repro.pregel import Graph, PregelEngine
+from repro.pregel.globalmap import GlobalOp
+from repro.translate.combiner import combiner_functions, infer_combiners
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = uniform_random(60, 300, seed=21)
+    attach_standard_props(g, seed=22)
+    return g
+
+
+class TestInference:
+    def test_pagerank_sum_tag_combinable(self):
+        compiled = compile_algorithm("pagerank", emit_java=False)
+        combiners = infer_combiners(compiled.ir)
+        assert list(combiners.values()) == [GlobalOp.SUM]
+
+    def test_sssp_rejected_multi_statement_receive(self):
+        compiled = compile_algorithm("sssp", emit_java=False)
+        assert infer_combiners(compiled.ir) == {}
+
+    def test_bipartite_overwrite_rejected(self):
+        compiled = compile_algorithm("bipartite_matching", emit_java=False)
+        assert infer_combiners(compiled.ir) == {}
+
+    def test_cc_min_tags_combinable(self):
+        compiled = compile_algorithm("connected_components", emit_java=False)
+        combiners = infer_combiners(compiled.ir)
+        assert GlobalOp.MIN in combiners.values()
+        # the id-broadcast tag (list building) must not be combinable
+        assert len(combiners) < len(compiled.ir.messages)
+
+    def test_avg_teen_rejected_empty_payload(self):
+        # empty payload: message *count* is the datum; combining would lose it
+        compiled = compile_algorithm("avg_teen_cnt", emit_java=False)
+        assert infer_combiners(compiled.ir) == {}
+
+
+class TestEngineFolding:
+    def test_combined_sends_are_folded(self):
+        g = Graph.from_edges(3, [(0, 2), (1, 2)])
+        fns = combiner_functions({0: GlobalOp.SUM})
+        got = []
+
+        def vertex(ctx, vid, messages):
+            if ctx.superstep == 0 and vid < 2:
+                ctx.send(2, (0, vid + 1))
+            got.extend(messages)
+
+        def master(ctx):
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        metrics = PregelEngine(g, vertex, master, combiners=fns, num_workers=1).run()
+        assert got == [(0, 3)]  # 1 + 2 folded at the sender
+        assert metrics.messages == 1
+
+    def test_per_worker_slots(self):
+        # senders on different workers cannot share a combiner slot
+        g = Graph.from_edges(3, [(0, 2), (1, 2)])
+        fns = combiner_functions({0: GlobalOp.SUM})
+        got = []
+
+        def vertex(ctx, vid, messages):
+            if ctx.superstep == 0 and vid < 2:
+                ctx.send(2, (0, vid + 1))
+            got.extend(messages)
+
+        def master(ctx):
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        metrics = PregelEngine(g, vertex, master, combiners=fns, num_workers=2).run()
+        assert sorted(m[1] for m in got) == [1, 2]
+        assert metrics.messages == 2
+
+    def test_uncombined_tags_flow_normally(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        fns = combiner_functions({5: GlobalOp.SUM})
+        got = []
+
+        def vertex(ctx, vid, messages):
+            if ctx.superstep == 0 and vid == 0:
+                ctx.send(1, (0, 10))
+                ctx.send(1, (0, 20))
+            got.extend(messages)
+
+        def master(ctx):
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        PregelEngine(g, vertex, master, combiners=fns).run()
+        assert got == [(0, 10), (0, 20)]
+
+
+class TestEndToEnd:
+    def test_pagerank_same_results_fewer_messages(self, graph):
+        compiled = compile_algorithm("pagerank", emit_java=False)
+        args = {"e": 1e-10, "d": 0.85, "max_iter": 8}
+        plain = compiled.program.run(graph, args)
+        combined = compiled.program.run(graph, args, use_combiners=True, num_workers=4)
+        # combining changes float summation order: equal up to rounding
+        for a, b in zip(plain.outputs["pg_rank"], combined.outputs["pg_rank"]):
+            assert abs(a - b) < 1e-12
+        assert combined.metrics.messages < plain.metrics.messages
+
+    def test_cc_same_results_with_combining(self, graph):
+        compiled = compile_algorithm("connected_components", emit_java=False)
+        plain = compiled.program.run(graph)
+        combined = compiled.program.run(graph, use_combiners=True)
+        assert plain.outputs["comp"] == combined.outputs["comp"]
+
+    def test_combining_respects_worker_count(self, graph):
+        compiled = compile_algorithm("pagerank", emit_java=False)
+        args = {"e": 1e-10, "d": 0.85, "max_iter": 6}
+        few = compiled.program.run(graph, args, use_combiners=True, num_workers=2)
+        many = compiled.program.run(graph, args, use_combiners=True, num_workers=16)
+        # more workers -> fewer sharing opportunities -> more messages
+        assert few.metrics.messages <= many.metrics.messages
+        for a, b in zip(few.outputs["pg_rank"], many.outputs["pg_rank"]):
+            assert abs(a - b) < 1e-12

@@ -1,0 +1,83 @@
+"""Appendix A (completeness) boundary tests: programs the compiler must
+reject — with precise §3.2 diagnostics — but the interpreter can still run.
+
+The paper: "there are inherently sequential algorithms (e.g. Tarjan's SCC)
+that can be described in Green-Marl but not with Pregel … the compiler
+simply fails when the input program contains a pattern for which no
+transformation rule is known."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.interp import interpret
+from repro.lang.errors import NotPregelCanonicalError, GreenMarlError
+from repro.pregel import Graph
+
+
+SEQUENTIAL_SCAN = """
+// a sequential scan over vertices: expressible in Green-Marl, not in Pregel
+Procedure seq_scan(G: Graph, w: N_P<Int>): Int {
+  Int best = 0;
+  For (n: G.Nodes) {
+    best max= n.w;
+  }
+  Return best;
+}
+"""
+
+
+class TestSetCBoundary:
+    def test_sequential_for_rejected_but_interpretable(self):
+        with pytest.raises(NotPregelCanonicalError):
+            compile_source(SEQUENTIAL_SCAN, emit_java=False)
+        g = Graph.from_edges(3, [(0, 1)])
+        g.add_node_prop("w", [3, 9, 4])
+        assert interpret(SEQUENTIAL_SCAN, g).result == 9
+
+    def test_random_read_rejected_with_paragraph_pointer(self):
+        src = """
+        Procedure p(G: Graph, ptr: N_P<Node>, v: N_P<Int>; out: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Node w = n.ptr;
+            n.out = w.v;
+          }
+        }
+        """
+        with pytest.raises(GreenMarlError) as err:
+            compile_source(src, emit_java=False)
+        assert "3.2" in str(err.value) or "random read" in str(err.value).lower()
+
+    def test_violations_reported_with_locations(self):
+        src = (
+            "Procedure p(G: Graph): Int {\n"
+            "  For (n: G.Nodes) { }\n"
+            "  Return 0;\n"
+            "}\n"
+        )
+        with pytest.raises(NotPregelCanonicalError) as err:
+            compile_source(src, emit_java=False)
+        assert "2:" in str(err.value)  # line number of the For
+
+    def test_pregel_canonical_source_is_fixed_point(self):
+        """Arrow (1) of Figure 7: the canonical form the compiler produces is
+        itself accepted untouched — compiling it again applies no §4.1
+        transformation rules."""
+        from repro.compiler import compile_algorithm, compile_source
+
+        first = compile_algorithm("avg_teen_cnt", emit_java=False)
+        second = compile_source(first.canonical_source, emit_java=False)
+        for rule in ("Flipping Edge", "Dissecting Loops", "BFS Traversal"):
+            assert not second.rule_row()[rule], rule
+
+    def test_recompiled_canonical_program_runs_identically(self):
+        from repro.compiler import compile_algorithm, compile_source
+        from repro.graphgen import attach_standard_props, uniform_random
+
+        g = uniform_random(30, 120, seed=4)
+        attach_standard_props(g, seed=5)
+        first = compile_algorithm("avg_teen_cnt", emit_java=False)
+        second = compile_source(first.canonical_source, emit_java=False)
+        a = first.program.run(g, {"K": 30})
+        b = second.program.run(g, {"K": 30})
+        assert a.result == b.result
+        assert a.outputs == b.outputs

@@ -1,0 +1,255 @@
+"""Three-way equivalence — the pipeline's end-to-end soundness claim:
+
+    textbook reference  ==  interpret(green-marl)  ==  run(compile(green-marl))
+
+for every bundled algorithm, over fixed and hypothesis-generated graphs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import reference
+from repro.algorithms.sources import load_procedure, load_source
+from repro.compiler import compile_algorithm
+from repro.graphgen import attach_standard_props, bipartite, uniform_random
+from repro.interp import interpret
+from repro.pregel import Graph
+
+TOL = 1e-9
+
+
+def _compiled(name):
+    return compile_algorithm(name, emit_java=False)
+
+
+def close_lists(a, b, tol=TOL):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if x == y:
+            continue
+        assert abs(x - y) <= tol * max(1.0, abs(x), abs(y)), (x, y)
+
+
+def make_graph(n, m, seed):
+    g = uniform_random(n, m, seed=seed)
+    attach_standard_props(g, seed=seed + 1)
+    return g
+
+
+class TestAvgTeen:
+    def check(self, graph):
+        args = {"K": 30}
+        ref_cnt, ref_avg = reference.avg_teen_cnt(graph, graph.node_props["age"], 30)
+        interp = interpret(load_source("avg_teen_cnt"), graph, args)
+        run = _compiled("avg_teen_cnt").program.run(graph, args)
+        assert interp.outputs["teen_cnt"] == ref_cnt
+        assert run.outputs["teen_cnt"] == ref_cnt
+        assert abs(interp.result - ref_avg) <= TOL
+        assert abs(run.result - ref_avg) <= TOL
+
+    def test_small(self, small_graph):
+        self.check(small_graph)
+
+    def test_skewed(self, skewed_graph):
+        self.check(skewed_graph)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs(self, seed):
+        self.check(make_graph(25, 80, seed))
+
+
+class TestPageRank:
+    ARGS = {"e": 1e-10, "d": 0.85, "max_iter": 12}
+
+    def check(self, graph):
+        ref_pr, _ = reference.pagerank(graph, 1e-10, 0.85, 12)
+        interp = interpret(load_source("pagerank"), graph, self.ARGS)
+        run = _compiled("pagerank").program.run(graph, self.ARGS)
+        close_lists(interp.outputs["pg_rank"], ref_pr)
+        close_lists(run.outputs["pg_rank"], ref_pr)
+
+    def test_small(self, small_graph):
+        self.check(small_graph)
+
+    def test_graph_with_sinks(self):
+        # dangling vertices exercise the degree-0 guard in generated sends
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (3, 2)])
+        self.check(g)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs(self, seed):
+        self.check(make_graph(20, 60, seed))
+
+
+class TestConductance:
+    def check(self, graph):
+        args = {"num": 1}
+        ref = reference.conductance(graph, graph.node_props["member"], 1)
+        interp = interpret(load_source("conductance"), graph, args)
+        run = _compiled("conductance").program.run(graph, args)
+        for got in (interp.result, run.result):
+            if ref == float("inf"):
+                assert got == ref
+            else:
+                assert abs(got - ref) <= TOL
+
+    def test_small(self, small_graph):
+        self.check(small_graph)
+
+    def test_all_same_side(self):
+        g = make_graph(10, 30, seed=2)
+        g.node_props["member"] = [1] * 10  # Dout == 0 -> INF or 0 path
+        self.check(g)
+
+    def test_empty_side_no_cross(self):
+        g = Graph.from_edges(3, [])
+        g.add_node_prop("member", [1, 1, 1])
+        attach = g.node_props["member"]
+        assert reference.conductance(g, attach, 1) == 0.0
+        self.check(g)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs(self, seed):
+        self.check(make_graph(22, 70, seed))
+
+
+class TestSSSP:
+    def check(self, graph):
+        args = {"root": 0}
+        ref = reference.sssp(graph, 0)
+        interp = interpret(load_source("sssp"), graph, args)
+        run = _compiled("sssp").program.run(graph, args)
+        assert interp.outputs["dist"] == ref
+        assert run.outputs["dist"] == ref
+
+    def test_small(self, small_graph):
+        self.check(small_graph)
+
+    def test_unreachable_nodes_stay_infinite(self):
+        g = Graph.from_edges(4, [(0, 1)], edge_props={"len": [2]})
+        args = {"root": 0}
+        run = _compiled("sssp").program.run(g, args)
+        assert run.outputs["dist"] == [0, 2, float("inf"), float("inf")]
+
+    def test_line_graph_distances(self):
+        g = Graph.from_edges(5, [(i, i + 1) for i in range(4)], edge_props={"len": [1, 2, 3, 4]})
+        run = _compiled("sssp").program.run(g, {"root": 0})
+        assert run.outputs["dist"] == [0, 1, 3, 6, 10]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graphs(self, seed):
+        self.check(make_graph(25, 90, seed))
+
+
+class TestBipartiteMatching:
+    def check(self, graph):
+        is_left = graph.node_props["is_left"]
+        interp = interpret(load_source("bipartite_matching"), graph, {})
+        run = _compiled("bipartite_matching").program.run(graph, {})
+        for result in (interp, run):
+            match = result.outputs["match"]
+            assert reference.is_valid_maximal_matching(graph, is_left, match)
+            assert result.result == reference.matching_size(match, is_left)
+        # Pregel and interpreter resolve write races identically (sender-id
+        # order), so the matchings agree exactly:
+        assert interp.outputs["match"] == run.outputs["match"]
+
+    def test_fixture(self, bipartite_graph):
+        self.check(bipartite_graph)
+
+    def test_perfect_matching_possible(self):
+        g = bipartite(4, 4, num_edges=16, seed=1)  # complete bipartite
+        run = _compiled("bipartite_matching").program.run(g, {})
+        assert run.result == 4
+
+    def test_no_edges(self):
+        g = bipartite(3, 3, num_edges=0, seed=1)
+        run = _compiled("bipartite_matching").program.run(g, {})
+        assert run.result == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = bipartite(rng.randint(3, 15), rng.randint(3, 15), num_edges=rng.randint(0, 60), seed=seed)
+        self.check(g)
+
+
+class TestBetweennessCentrality:
+    def check(self, graph, k, seed):
+        args = {"K": k}
+        roots = reference.bc_roots_for_seed(graph.num_nodes, k, seed)
+        ref = reference.bc_approx(graph, roots)
+        interp = interpret(load_source("bc_approx"), graph, args, seed=seed)
+        run = _compiled("bc_approx").program.run(graph, args, seed=seed)
+        close_lists(interp.outputs["bc"], ref)
+        close_lists(run.outputs["bc"], ref)
+
+    def test_small(self, small_graph):
+        self.check(small_graph, k=3, seed=42)
+
+    def test_single_root(self, tiny_graph):
+        self.check(tiny_graph, k=1, seed=5)
+
+    def test_disconnected_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        self.check(g, k=4, seed=11)
+
+    def test_zero_rounds(self, tiny_graph):
+        run = _compiled("bc_approx").program.run(tiny_graph, {"K": 0})
+        assert run.outputs["bc"] == [0.0] * tiny_graph.num_nodes
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_graphs(self, seed):
+        self.check(make_graph(18, 50, seed), k=2, seed=seed % 97)
+
+
+class TestManualBaselinesAgainstReference:
+    """The hand-written Pregel programs must match the references too."""
+
+    def test_manual_pagerank(self, small_graph):
+        from repro.algorithms.manual import MANUAL_PROGRAMS
+
+        args = {"e": 1e-10, "d": 0.85, "max_iter": 12}
+        run = MANUAL_PROGRAMS["pagerank"].run(small_graph, args)
+        ref, _ = reference.pagerank(small_graph, 1e-10, 0.85, 12)
+        close_lists(run.outputs["pg_rank"], ref)
+
+    def test_manual_sssp(self, small_graph):
+        from repro.algorithms.manual import MANUAL_PROGRAMS
+
+        run = MANUAL_PROGRAMS["sssp"].run(small_graph, {"root": 0})
+        assert run.outputs["dist"] == reference.sssp(small_graph, 0)
+
+    def test_manual_avg_teen(self, small_graph):
+        from repro.algorithms.manual import MANUAL_PROGRAMS
+
+        run = MANUAL_PROGRAMS["avg_teen_cnt"].run(small_graph, {"K": 30})
+        ref_cnt, ref_avg = reference.avg_teen_cnt(
+            small_graph, small_graph.node_props["age"], 30
+        )
+        assert run.outputs["teen_cnt"] == ref_cnt
+        assert abs(run.result - ref_avg) <= TOL
+
+    def test_manual_conductance(self, small_graph):
+        from repro.algorithms.manual import MANUAL_PROGRAMS
+
+        run = MANUAL_PROGRAMS["conductance"].run(small_graph, {"num": 1})
+        ref = reference.conductance(small_graph, small_graph.node_props["member"], 1)
+        assert abs(run.result - ref) <= TOL
+
+    def test_manual_bipartite(self, bipartite_graph):
+        from repro.algorithms.manual import MANUAL_PROGRAMS
+
+        run = MANUAL_PROGRAMS["bipartite_matching"].run(bipartite_graph, {})
+        is_left = bipartite_graph.node_props["is_left"]
+        assert reference.is_valid_maximal_matching(
+            bipartite_graph, is_left, run.outputs["match"]
+        )
+        assert run.result == reference.matching_size(run.outputs["match"], is_left)

@@ -1,0 +1,116 @@
+"""Diagnostics tests: error rendering, spans, and end-to-end failure modes."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.lang.errors import (
+    GreenMarlError,
+    NotPregelCanonicalError,
+    ParseError,
+    Span,
+    TypeCheckError,
+)
+
+
+class TestSpan:
+    def test_merge_covers_both(self):
+        a = Span(1, 2, 1, 5)
+        b = Span(3, 1, 3, 4)
+        merged = a.merge(b)
+        assert (merged.line, merged.col) == (1, 2)
+        assert (merged.end_line, merged.end_col) == (3, 4)
+
+    def test_merge_with_unknown(self):
+        a = Span(2, 3, 2, 6)
+        assert a.merge(Span()) == a
+        assert Span().merge(a) == a
+
+    def test_point(self):
+        p = Span.point(4, 7)
+        assert p.end_col == 8
+
+    def test_str(self):
+        assert str(Span(3, 9, 3, 12)) == "3:9"
+        assert str(Span()) == "<unknown>"
+
+
+class TestRendering:
+    def test_render_with_source_excerpt_and_caret(self):
+        source = "Procedure p(G: Graph) {\n  Int x = yy;\n}"
+        try:
+            compile_source(source)
+        except GreenMarlError as err:
+            rendered = err.render(source, "prog.gm")
+            assert "prog.gm:2:" in rendered
+            assert "Int x = yy;" in rendered
+            assert "^" in rendered
+        else:
+            pytest.fail("expected an error")
+
+    def test_hint_included(self):
+        err = ParseError("bad thing", Span(1, 1, 1, 2), hint="try harder")
+        assert "hint: try harder" in err.render()
+
+    def test_error_kinds(self):
+        assert ParseError("x").kind() == "parse error"
+        assert TypeCheckError("x").kind() == "type error"
+        assert NotPregelCanonicalError("x").kind() == "not pregel-canonical"
+
+
+class TestEndToEndFailures:
+    def test_random_read_reported_with_paragraph_reference(self):
+        source = """
+        Procedure p(G: Graph, d: N_P<Int>; out: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.Nbrs) {
+              Node u = t;
+            }
+          }
+        }
+        """
+        # inner-loop node locals are fine; random reads are not:
+        bad = """
+        Procedure p(G: Graph, ptr: N_P<Node>, d: N_P<Int>; out: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Node w = n.ptr;
+            n.out = w.d;
+          }
+        }
+        """
+        compile_source(source, emit_java=False)
+        with pytest.raises(GreenMarlError) as err:
+            compile_source(bad, emit_java=False)
+        assert "random read" in str(err.value).lower()
+
+    def test_pull_that_cannot_flip_is_reported(self):
+        # mixed push/pull has no transformation rule
+        source = """
+        Procedure p(G: Graph; a: N_P<Int>, b: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.Nbrs) {
+              t.a += 1;
+              n.b += 1;
+            }
+          }
+        }
+        """
+        with pytest.raises(GreenMarlError):
+            compile_source(source, emit_java=False)
+
+    def test_graphless_procedure(self):
+        with pytest.raises(TypeCheckError):
+            compile_source("Procedure p(K: Int) { }")
+
+    def test_canonical_error_lists_all_violations(self):
+        source = """
+        Procedure p(G: Graph): Int {
+          For (n: G.Nodes) { }
+          Foreach (n: G.Nodes) { Return 3; }
+          Return 0;
+        }
+        """
+        with pytest.raises(NotPregelCanonicalError) as err:
+            compile_source(source)
+        message = str(err.value)
+        assert "sequential For" in message
+        assert "Return inside a parallel loop" in message

@@ -1,0 +1,167 @@
+"""Workload-generator and graph-I/O tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphgen import (
+    TABLE1,
+    applicable_graphs,
+    attach_standard_props,
+    bipartite,
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+    twitter_like,
+    uniform_random,
+    web_like,
+)
+
+
+class TestUniformRandom:
+    def test_exact_edge_count(self):
+        g = uniform_random(50, 200, seed=1)
+        assert g.num_edges == 200
+
+    def test_no_self_loops(self):
+        g = uniform_random(30, 100, seed=2)
+        assert all(a != b for a, b in g.edges())
+
+    def test_deterministic_by_seed(self):
+        a = uniform_random(30, 100, seed=3)
+        b = uniform_random(30, 100, seed=3)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = uniform_random(30, 100, seed=3)
+        b = uniform_random(30, 100, seed=4)
+        assert list(a.edges()) != list(b.edges())
+
+
+class TestTwitterLike:
+    def test_size_near_target(self):
+        g = twitter_like(500, avg_degree=8, seed=1)
+        assert g.num_nodes == 500
+        assert g.num_edges >= 0.5 * 500 * 8
+
+    def test_degree_skew(self):
+        """RMAT must be much more skewed than uniform: compare max degrees."""
+        rmat = twitter_like(600, avg_degree=10, seed=1)
+        uni = uniform_random(600, rmat.num_edges, seed=1)
+        max_rmat = max(rmat.in_degree(v) for v in rmat.nodes())
+        max_uni = max(uni.in_degree(v) for v in uni.nodes())
+        assert max_rmat > 2 * max_uni
+
+    def test_no_self_loops(self):
+        g = twitter_like(200, avg_degree=6, seed=5)
+        assert all(a != b for a, b in g.edges())
+
+
+class TestWebLike:
+    def test_reaches_target_size(self):
+        g = web_like(400, avg_degree=8, seed=1)
+        assert g.num_edges > 400  # at least one edge per non-root node
+
+    def test_locality(self):
+        """Most edges should connect nearby ids (the crawl-order locality)."""
+        g = web_like(1000, avg_degree=8, seed=2)
+        window = max(4, 1000 // 50)
+        local = sum(1 for a, b in g.edges() if abs(a - b) <= window)
+        assert local / g.num_edges > 0.5
+
+    def test_deterministic(self):
+        a = web_like(200, seed=7)
+        b = web_like(200, seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestBipartite:
+    def test_edges_run_left_to_right(self):
+        g = bipartite(10, 15, num_edges=40, seed=1)
+        is_left = g.node_props["is_left"]
+        for a, b in g.edges():
+            assert is_left[a] and not is_left[b]
+
+    def test_is_left_partition_sizes(self):
+        g = bipartite(10, 15, num_edges=20, seed=1)
+        assert sum(g.node_props["is_left"]) == 10
+
+    def test_edge_count_capped_by_complete_graph(self):
+        g = bipartite(3, 3, num_edges=100, seed=1)
+        assert g.num_edges == 9
+
+
+class TestStandardProps:
+    def test_attach(self):
+        g = uniform_random(40, 120, seed=1)
+        attach_standard_props(g, seed=2)
+        assert len(g.node_props["age"]) == 40
+        assert len(g.edge_props["len"]) == 120
+        assert all(1 <= w <= 15 for w in g.edge_props["len"])
+        assert set(g.node_props["member"]) <= {0, 1}
+
+
+class TestRegistry:
+    def test_all_specs_load(self):
+        for key in TABLE1:
+            g = load_graph(key, scale=0.05)
+            assert g.num_nodes > 0 and g.num_edges > 0
+            assert "age" in g.node_props and "len" in g.edge_props
+
+    def test_scale_changes_size(self):
+        small = load_graph("twitter", scale=0.05)
+        larger = load_graph("twitter", scale=0.2)
+        assert larger.num_nodes > small.num_nodes
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            load_graph("facebook")
+
+    def test_applicability(self):
+        assert applicable_graphs("bipartite_matching") == ["bipartite"]
+        assert set(applicable_graphs("pagerank")) == set(TABLE1)
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        g = uniform_random(20, 60, seed=1)
+        attach_standard_props(g, seed=2)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == g.num_nodes
+        assert sorted(loaded.edges()) == sorted(g.edges())
+        assert loaded.node_props["age"] == g.node_props["age"]
+
+    def test_edge_props_round_trip(self, tmp_path):
+        g = uniform_random(10, 30, seed=3)
+        attach_standard_props(g, seed=4)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        # compare per-pair weights (CSR order may differ)
+        def weights(graph):
+            return {
+                (v, graph.out_targets[p]): graph.edge_props["len"][p]
+                for v in graph.nodes()
+                for p in graph.out_edge_range(v)
+            }
+
+        assert weights(loaded) == weights(g)
+
+    def test_nodes_header_preserves_isolated(self, tmp_path):
+        from repro.pregel import Graph
+
+        g = Graph.from_edges(5, [(0, 1)])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_nodes == 5
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_random(self, tmp_path_factory, seed):
+        g = uniform_random(12, 30, seed=seed)
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        save_edge_list(g, path)
+        assert sorted(load_edge_list(path).edges()) == sorted(g.edges())

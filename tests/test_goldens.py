@@ -1,0 +1,50 @@
+"""Golden-artifact regression tests.
+
+The generated Java, the executable Python vertex program, and the canonical
+Green-Marl for AvgTeen are pinned under ``tests/goldens/``.  A failure here
+means code generation changed — inspect the diff, and if intentional,
+regenerate with:
+
+    python - <<'PY'
+    from repro.compiler import compile_algorithm
+    from pathlib import Path
+    r = compile_algorithm("avg_teen_cnt")
+    Path("tests/goldens/avg_teen_cnt.java").write_text(r.java_source)
+    Path("tests/goldens/avg_teen_cnt.vertex.py").write_text(r.program.vertex_source)
+    Path("tests/goldens/avg_teen_cnt.canonical.gm").write_text(r.canonical_source)
+    PY
+"""
+
+from pathlib import Path
+
+from repro.compiler import compile_algorithm
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def test_java_golden():
+    compiled = compile_algorithm("avg_teen_cnt")
+    assert compiled.java_source == (GOLDEN_DIR / "avg_teen_cnt.java").read_text()
+
+
+def test_vertex_program_golden():
+    compiled = compile_algorithm("avg_teen_cnt", emit_java=False)
+    assert compiled.program.vertex_source == (
+        GOLDEN_DIR / "avg_teen_cnt.vertex.py"
+    ).read_text()
+
+
+def test_canonical_form_golden():
+    compiled = compile_algorithm("avg_teen_cnt", emit_java=False)
+    assert compiled.canonical_source == (
+        GOLDEN_DIR / "avg_teen_cnt.canonical.gm"
+    ).read_text()
+
+
+def test_compilation_is_deterministic():
+    """Two independent compilations emit byte-identical artifacts."""
+    a = compile_algorithm("bc_approx")
+    b = compile_algorithm("bc_approx")
+    assert a.java_source == b.java_source
+    assert a.program.vertex_source == b.program.vertex_source
+    assert a.canonical_source == b.canonical_source

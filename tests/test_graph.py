@@ -1,0 +1,128 @@
+"""Graph substrate tests: CSR construction, in/out duality, edge-property
+alignment — unit cases plus hypothesis property tests."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.pregel import Graph
+
+
+class TestConstruction:
+    def test_small_graph(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.out_nbrs(0) == [1, 2]
+        assert g.out_nbrs(2) == []
+        assert g.in_nbrs(2) == [0, 1]
+
+    def test_degrees(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2 and g.in_degree(0) == 0
+        assert g.out_degree(2) == 0 and g.in_degree(2) == 2
+
+    def test_edges_iteration(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = Graph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_isolated_nodes(self):
+        g = Graph.from_edges(5, [(0, 1)])
+        assert g.out_nbrs(3) == [] and g.in_nbrs(3) == []
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+
+class TestEdgeProperties:
+    def test_csr_alignment_through_out_edges(self):
+        edges = [(1, 0), (0, 2), (0, 1)]
+        weights = [10, 20, 30]
+        g = Graph.from_edges(3, edges, edge_props={"w": weights})
+        by_pair = {}
+        for v in g.nodes():
+            for pos in g.out_edge_range(v):
+                by_pair[(v, g.out_targets[pos])] = g.edge_props["w"][pos]
+        assert by_pair == {(1, 0): 10, (0, 2): 20, (0, 1): 30}
+
+    def test_in_edge_ids_point_to_same_property(self):
+        edges = [(0, 2), (1, 2)]
+        g = Graph.from_edges(3, edges, edge_props={"w": [7, 8]})
+        incoming = {}
+        for i in range(g.in_offsets[2], g.in_offsets[3]):
+            src = g.in_sources[i]
+            incoming[src] = g.edge_props["w"][g.in_edge_ids[i]]
+        assert incoming == {0: 7, 1: 8}
+
+    def test_wrong_length_property_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 1)], edge_props={"w": [1, 2]})
+
+    def test_add_props_after_construction(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        g.add_node_prop("x", default=5)
+        g.add_edge_prop_csr("w", default=2)
+        assert g.node_props["x"] == [5, 5]
+        assert g.edge_props["w"] == [2]
+
+    def test_add_node_prop_length_check(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.add_node_prop("x", [1])
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=60,
+        )
+    )
+    return n, edges
+
+
+class TestProperties:
+    @given(edge_lists())
+    @settings(max_examples=60)
+    def test_out_in_duality(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        out_pairs = sorted((v, w) for v in g.nodes() for w in g.out_nbrs(v))
+        in_pairs = sorted((w, v) for v in g.nodes() for w in g.in_nbrs(v))
+        assert out_pairs == sorted(edges)
+        assert in_pairs == sorted(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=60)
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        assert sum(g.out_degree(v) for v in g.nodes()) == len(edges)
+        assert sum(g.in_degree(v) for v in g.nodes()) == len(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=60)
+    def test_offsets_monotone(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        assert all(a <= b for a, b in zip(g.out_offsets, g.out_offsets[1:]))
+        assert all(a <= b for a, b in zip(g.in_offsets, g.in_offsets[1:]))
+        assert g.out_offsets[-1] == len(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=40)
+    def test_in_edge_ids_are_a_permutation(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges)
+        assert sorted(g.in_edge_ids) == list(range(len(edges)))

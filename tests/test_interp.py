@@ -1,0 +1,260 @@
+"""Reference interpreter unit tests: constructs exercised in isolation."""
+
+import pytest
+
+from repro.interp import interpret
+from repro.pregel import Graph
+
+
+def diamond() -> Graph:
+    #   0 -> 1 -> 3
+    #   0 -> 2 -> 3
+    return Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)], edge_props={"len": [1, 2, 3, 4]})
+
+
+class TestSequential:
+    def test_arithmetic_and_return(self):
+        out = interpret(
+            "Procedure p(G: Graph): Int { Int x = 2; x += 3; x *= 4; Return x; }",
+            diamond(),
+        )
+        assert out.result == 20
+
+    def test_min_max_assign(self):
+        out = interpret(
+            "Procedure p(G: Graph): Int { Int x = 10; x min= 3; x max= 7; Return x; }",
+            diamond(),
+        )
+        assert out.result == 7
+
+    def test_ternary_and_cast(self):
+        out = interpret(
+            "Procedure p(G: Graph): Double { Int c = 4; Return (c == 0) ? 0.0 : 10 / (Double) c; }",
+            diamond(),
+        )
+        assert out.result == 2.5
+
+    def test_integer_division_truncates(self):
+        out = interpret("Procedure p(G: Graph): Int { Return 7 / 2; }", diamond())
+        assert out.result == 3
+
+    def test_abs(self):
+        out = interpret("Procedure p(G: Graph): Int { Return |3 - 10|; }", diamond())
+        assert out.result == 7
+
+    def test_if_else(self):
+        out = interpret(
+            "Procedure p(G: Graph): Int { If (False) { Return 1; } Else { Return 2; } }",
+            diamond(),
+        )
+        assert out.result == 2
+
+    def test_do_while_runs_once(self):
+        out = interpret(
+            "Procedure p(G: Graph): Int { Int k = 0; Do { k++; } While (False); Return k; }",
+            diamond(),
+        )
+        assert out.result == 1
+
+    def test_graph_methods(self):
+        out = interpret(
+            "Procedure p(G: Graph): Long { Return G.NumNodes() + G.NumEdges(); }",
+            diamond(),
+        )
+        assert out.result == 8
+
+
+class TestParallelLoops:
+    def test_group_assignment(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) { G.d = 7; }", diamond()
+        )
+        assert out.outputs["d"] == [7, 7, 7, 7]
+
+    def test_group_copy(self):
+        g = diamond()
+        g.add_node_prop("src", [1, 2, 3, 4])
+        out = interpret(
+            "Procedure p(G: Graph, src: N_P<Int>; d: N_P<Int>) { G.d = src; }"
+            .replace("src;", "G.src;"),
+            g,
+        )
+        assert out.outputs["d"] == [1, 2, 3, 4]
+
+    def test_filtered_loop(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) {"
+            "  G.d = 0;"
+            "  Foreach (n: G.Nodes)[n.d == 0] { n.d = 1; } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [1, 1, 1, 1]
+
+    def test_neighborhood_push(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) {"
+            "  G.d = 0;"
+            "  Foreach (n: G.Nodes) { Foreach (t: n.Nbrs) { t.d += 1; } } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [0, 1, 1, 2]  # in-degrees
+
+    def test_in_neighborhood_pull(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { n.d = Count(t: n.InNbrs); } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [0, 1, 1, 2]
+
+    def test_edge_property_via_to_edge(self):
+        out = interpret(
+            "Procedure p(G: Graph, len: E_P<Int>; d: N_P<Int>) {"
+            "  G.d = 0;"
+            "  Foreach (n: G.Nodes) { Foreach (s: n.Nbrs) {"
+            "    Edge e = s.ToEdge();"
+            "    s.d += e.len; } } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [0, 1, 2, 7]
+
+    def test_deferred_assign_reads_old_values(self):
+        # every node's nxt = sum of out-neighbors' v, all reading pre-loop v
+        out = interpret(
+            "Procedure p(G: Graph; v: N_P<Int>) {"
+            "  G.v = 1;"
+            "  Foreach (n: G.Nodes) {"
+            "    Int s = Sum(t: n.Nbrs){t.v};"
+            "    n.v <= s + n.v @ n;"
+            "  } }",
+            diamond(),
+        )
+        assert out.outputs["v"] == [3, 2, 2, 1]
+
+    def test_degree_method(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { n.d = n.Degree(); } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [2, 1, 1, 0]
+
+    def test_in_degree_method(self):
+        out = interpret(
+            "Procedure p(G: Graph; d: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { n.d = n.InDegree(); } }",
+            diamond(),
+        )
+        assert out.outputs["d"] == [0, 1, 1, 2]
+
+
+class TestReductions:
+    def test_sum_with_filter(self):
+        g = diamond()
+        g.add_node_prop("w", [10, 20, 30, 40])
+        out = interpret(
+            "Procedure p(G: Graph, w: N_P<Int>): Int {"
+            "  Return Sum(u: G.Nodes)[u.w > 15]{u.w}; }",
+            g,
+        )
+        assert out.result == 90
+
+    def test_product(self):
+        g = diamond()
+        g.add_node_prop("w", [1, 2, 3, 4])
+        out = interpret(
+            "Procedure p(G: Graph, w: N_P<Int>): Int {"
+            "  Return Product(u: G.Nodes){u.w}; }",
+            g,
+        )
+        assert out.result == 24
+
+    def test_min_max(self):
+        g = diamond()
+        g.add_node_prop("w", [5, 2, 9, 4])
+        out = interpret(
+            "Procedure p(G: Graph, w: N_P<Int>): Int {"
+            "  Return Max(u: G.Nodes){u.w} - Min(u: G.Nodes){u.w}; }",
+            g,
+        )
+        assert out.result == 7
+
+    def test_exist_and_all(self):
+        g = diamond()
+        g.add_node_prop("f", [False, True, False, False])
+        out = interpret(
+            "Procedure p(G: Graph, f: N_P<Bool>): Bool {"
+            "  Return Exist(u: G.Nodes){u.f} && !All(u: G.Nodes){u.f}; }",
+            g,
+        )
+        assert out.result is True
+
+    def test_avg_empty_is_zero(self):
+        g = diamond()
+        g.add_node_prop("w", [1, 2, 3, 4])
+        out = interpret(
+            "Procedure p(G: Graph, w: N_P<Int>): Double {"
+            "  Return Avg(u: G.Nodes)[u.w > 100]{u.w}; }",
+            g,
+        )
+        assert out.result == 0.0
+
+
+class TestBfs:
+    def test_levels_via_forward_bfs(self):
+        g = diamond()
+        out = interpret(
+            "Procedure p(G: Graph, s: Node; lvl: N_P<Int>) {"
+            "  G.lvl = 0 - 1;"
+            "  Int cur = 0;"
+            "  InBFS (v: G.Nodes From s) {"
+            "    v.lvl = Count(w: v.UpNbrs) == 0 ? 0 : Min(w: v.UpNbrs){w.lvl} + 1;"
+            "  } }",
+            g,
+            {"s": 0},
+        )
+        assert out.outputs["lvl"] == [0, 1, 1, 2]
+
+    def test_reverse_visits_deepest_first(self):
+        g = diamond()
+        out = interpret(
+            "Procedure p(G: Graph, s: Node; ordv: N_P<Int>) {"
+            "  Int c = 0;"
+            "  InBFS (v: G.Nodes From s) { }"
+            "  InReverse {"
+            "    c++;"
+            "    v.ordv = c;"
+            "  } }",
+            g,
+            {"s": 0},
+        )
+        ordv = out.outputs["ordv"]
+        assert ordv[3] == 1  # deepest level visited first
+        assert ordv[0] == 4  # root last
+
+    def test_unreachable_nodes_skipped(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        out = interpret(
+            "Procedure p(G: Graph, s: Node; seen: N_P<Bool>) {"
+            "  G.seen = False;"
+            "  InBFS (v: G.Nodes From s) { v.seen = True; } }",
+            g,
+            {"s": 0},
+        )
+        assert out.outputs["seen"] == [True, True, False]
+
+
+class TestArguments:
+    def test_missing_scalar_argument(self):
+        with pytest.raises(ValueError):
+            interpret("Procedure p(G: Graph, K: Int) { }", diamond(), {})
+
+    def test_missing_edge_property(self):
+        with pytest.raises(ValueError):
+            interpret(
+                "Procedure p(G: Graph, w: E_P<Int>) { }", Graph.from_edges(1, []), {}
+            )
+
+    def test_output_prop_default_initialized(self):
+        out = interpret("Procedure p(G: Graph; d: N_P<Int>) { }", diamond(), {})
+        assert out.outputs["d"] == [0, 0, 0, 0]

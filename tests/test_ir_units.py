@@ -1,0 +1,177 @@
+"""Unit tests for the Pregel IR containers and the merge-pass internals."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.lang.ast import BinOp
+from repro.pregel.globalmap import GlobalOp
+from repro.pregelir.ir import (
+    Bin,
+    Field,
+    GlobalGet,
+    Lit,
+    MAssign,
+    MBranch,
+    MessageLayout,
+    MJump,
+    MLabel,
+    MsgField,
+    MVPhase,
+    MyId,
+    type_bytes,
+    VertexPhase,
+    VFieldAssign,
+    VFieldReduce,
+    VGlobalPut,
+    VIf,
+    VMsgLoop,
+    VSendNbrs,
+    VSendTo,
+)
+from repro.translate.merge import (
+    _find_innermost_loops,
+    guarded_compute,
+    phase_field_reads,
+    phase_field_writes,
+    phase_global_puts,
+    phase_global_reads,
+)
+
+
+class TestMessageLayout:
+    def test_payload_bytes_by_type(self):
+        layout = MessageLayout(0, "t")
+        layout.fields = [("f0", ty.INT), ("f1", ty.DOUBLE), ("f2", ty.BOOL)]
+        assert layout.payload_bytes(tagged=False) == 4 + 8 + 1
+        assert layout.payload_bytes(tagged=True) == 14
+
+    def test_type_bytes(self):
+        assert type_bytes(ty.INT) == 4
+        assert type_bytes(ty.LONG) == 8
+        assert type_bytes(ty.FLOAT) == 4
+        assert type_bytes(ty.DOUBLE) == 8
+        assert type_bytes(ty.BOOL) == 1
+        assert type_bytes(ty.NODE) == 4
+
+    def test_property_type_rejected(self):
+        with pytest.raises(ValueError):
+            type_bytes(ty.NodePropType(ty.INT))
+
+
+class TestVertexPhase:
+    def make(self):
+        phase = VertexPhase(0, "test")
+        phase.receive = [
+            VMsgLoop(2, [VFieldReduce("acc", GlobalOp.SUM, MsgField(0))])
+        ]
+        phase.compute = [
+            VIf(
+                Bin(BinOp.GT, Field("deg"), Lit(0)),
+                [VSendNbrs(1, [Field("val")], "out")],
+                [VSendTo(MyId(), 3, [])],
+            ),
+            VGlobalPut("total", GlobalOp.SUM, Field("val")),
+        ]
+        return phase
+
+    def test_sent_tags_found_in_branches(self):
+        assert self.make().sent_tags() == {1, 3}
+
+    def test_received_tags(self):
+        assert self.make().received_tags() == {2}
+
+    def test_is_empty(self):
+        assert VertexPhase(0, "x").is_empty()
+        assert not self.make().is_empty()
+
+
+class TestPhaseAnalysis:
+    def test_global_reads_include_filters(self):
+        phase = VertexPhase(0, "x")
+        phase.filter = Bin(BinOp.LT, Field("a"), GlobalGet("K"))
+        phase.compute = [VFieldAssign("a", GlobalGet("N"))]
+        assert phase_global_reads(phase) == {"K", "N"}
+
+    def test_global_puts_in_receive(self):
+        phase = VertexPhase(0, "x")
+        phase.receive = [VMsgLoop(0, [VGlobalPut("fin", GlobalOp.AND, Lit(False))])]
+        assert phase_global_puts(phase) == {"fin"}
+
+    def test_field_reads_and_writes(self):
+        phase = VertexPhase(0, "x")
+        phase.compute = [
+            VFieldAssign("a", Bin(BinOp.ADD, Field("b"), Lit(1))),
+            VFieldReduce("c", GlobalOp.MIN, Field("a")),
+        ]
+        assert phase_field_writes(phase) == {"a", "c"}
+        assert {"a", "b"} <= phase_field_reads(phase)
+
+    def test_guarded_compute_wraps_filter(self):
+        phase = VertexPhase(0, "x")
+        phase.filter = Bin(BinOp.GT, Field("a"), Lit(0))
+        phase.compute = [VFieldAssign("a", Lit(1))]
+        (wrapped,) = guarded_compute(phase)
+        assert isinstance(wrapped, VIf)
+
+    def test_guarded_compute_without_filter(self):
+        phase = VertexPhase(0, "x")
+        phase.compute = [VFieldAssign("a", Lit(1))]
+        assert guarded_compute(phase) == phase.compute
+
+
+class TestLoopShapeDetection:
+    def test_do_while_shape(self):
+        code = [
+            MLabel("body"),
+            MVPhase(0),
+            MVPhase(1),
+            MBranch(GlobalGet("c"), "body", "exit"),
+            MLabel("exit"),
+        ]
+        loops = _find_innermost_loops(code)
+        assert len(loops) == 1
+        assert loops[0].head_branch is None
+        assert loops[0].body_label == "body"
+        assert loops[0].exit_label == "exit"
+
+    def test_while_shape(self):
+        code = [
+            MLabel("head"),
+            MBranch(GlobalGet("c"), "body", "exit"),
+            MLabel("body"),
+            MVPhase(0),
+            MJump("head"),
+            MLabel("exit"),
+        ]
+        loops = _find_innermost_loops(code)
+        assert len(loops) == 1
+        assert loops[0].head_branch == 1
+
+    def test_non_straight_line_body_rejected(self):
+        code = [
+            MLabel("body"),
+            MVPhase(0),
+            MLabel("inner"),
+            MVPhase(1),
+            MBranch(GlobalGet("c"), "body", "exit"),
+            MLabel("exit"),
+        ]
+        assert _find_innermost_loops(code) == []
+
+    def test_forward_jump_is_not_a_loop(self):
+        code = [
+            MBranch(GlobalGet("c"), "later", "later"),
+            MVPhase(0),
+            MLabel("later"),
+        ]
+        assert _find_innermost_loops(code) == []
+
+
+class TestDescribe:
+    def test_ir_describe_mentions_phases_and_tags(self):
+        from repro.compiler import compile_algorithm
+
+        ir = compile_algorithm("bipartite_matching", emit_java=False).ir
+        text = ir.describe()
+        assert "message type(s)" in text
+        assert "phase" in text

@@ -1,0 +1,161 @@
+"""Lexer unit tests: token kinds, operator disambiguation, trivia, errors."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("Procedure foo If While") == [
+            TokenKind.KW_PROCEDURE,
+            TokenKind.IDENT,
+            TokenKind.KW_IF,
+            TokenKind.KW_WHILE,
+        ]
+
+    def test_proc_alias(self):
+        assert kinds("Proc") == [TokenKind.KW_PROCEDURE]
+
+    def test_underscore_identifiers(self):
+        assert kinds("_tmp _gm_p0") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.text == "42"
+
+    def test_float_literals(self):
+        assert kinds("1.5 0.0 2e3 1.5e-2") == [TokenKind.FLOAT_LIT] * 4
+
+    def test_integer_followed_by_dot_method(self):
+        # "1.5" is a float but "G.Nodes" must stay IDENT DOT IDENT
+        assert kinds("G.Nodes") == [TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT]
+
+    def test_bool_and_nil_literals(self):
+        assert kinds("True False NIL INF") == [
+            TokenKind.KW_TRUE,
+            TokenKind.KW_FALSE,
+            TokenKind.KW_NIL,
+            TokenKind.KW_INF,
+        ]
+
+    def test_type_keywords(self):
+        assert kinds("Int Long Float Double Bool Graph Node Edge N_P E_P") == [
+            TokenKind.KW_INT,
+            TokenKind.KW_LONG,
+            TokenKind.KW_FLOAT,
+            TokenKind.KW_DOUBLE,
+            TokenKind.KW_BOOL,
+            TokenKind.KW_GRAPH,
+            TokenKind.KW_NODE,
+            TokenKind.KW_EDGE,
+            TokenKind.KW_NODE_PROP,
+            TokenKind.KW_EDGE_PROP,
+        ]
+
+    def test_node_prop_spelling_alias(self):
+        assert kinds("Node_Prop Edge_Prop") == [
+            TokenKind.KW_NODE_PROP,
+            TokenKind.KW_EDGE_PROP,
+        ]
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && || += *= &= |= ++") == [
+            TokenKind.EQ,
+            TokenKind.NEQ,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND_OP,
+            TokenKind.OR_OP,
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.TIMES_ASSIGN,
+            TokenKind.AND_ASSIGN,
+            TokenKind.OR_ASSIGN,
+            TokenKind.INCR,
+        ]
+
+    def test_min_max_assign(self):
+        assert kinds("x min= y") == [TokenKind.IDENT, TokenKind.MIN_ASSIGN, TokenKind.IDENT]
+        assert kinds("x max= y") == [TokenKind.IDENT, TokenKind.MAX_ASSIGN, TokenKind.IDENT]
+
+    def test_min_not_followed_by_assign_is_ident(self):
+        assert kinds("min + max") == [TokenKind.IDENT, TokenKind.PLUS, TokenKind.IDENT]
+
+    def test_min_equality_comparison_is_not_min_assign(self):
+        # `min == 3` must lex as IDENT EQ INT, not MIN_ASSIGN ASSIGN
+        assert kinds("min == 3") == [TokenKind.IDENT, TokenKind.EQ, TokenKind.INT_LIT]
+
+    def test_single_bar_is_abs_delimiter(self):
+        assert kinds("|x|") == [TokenKind.BAR, TokenKind.IDENT, TokenKind.BAR]
+
+    def test_double_bar_is_logical_or(self):
+        assert kinds("a || b") == [TokenKind.IDENT, TokenKind.OR_OP, TokenKind.IDENT]
+
+    def test_le_vs_lt(self):
+        assert kinds("a <= b < c") == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.IDENT,
+            TokenKind.LT,
+            TokenKind.IDENT,
+        ]
+
+    def test_at_binding(self):
+        assert kinds("x += 1 @ n") == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.INT_LIT,
+            TokenKind.AT,
+            TokenKind.IDENT,
+        ]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert kinds("a\t b\r\n c") == [TokenKind.IDENT] * 3
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert tokens[0].span.line == 1 and tokens[0].span.col == 1
+        assert tokens[1].span.line == 2 and tokens[1].span.col == 3
+
+    def test_span_covers_token(self):
+        tok = tokenize("hello")[0]
+        assert tok.span.end_col == 6
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a $ b")
+        assert "$" in str(err.value)
+
+    def test_error_location(self):
+        with pytest.raises(LexError) as err:
+            tokenize("abc\n  $")
+        assert err.value.span.line == 2

@@ -1,0 +1,131 @@
+"""Structural tests for the hand-written Pregel baselines: superstep and
+message formulas on crafted graphs, argument validation, voting behavior."""
+
+import pytest
+
+from repro.algorithms.manual import MANUAL_PROGRAMS
+from repro.graphgen import attach_standard_props, bipartite, uniform_random
+from repro.pregel import Graph
+
+
+def graph_with_props(n=40, m=160, seed=31):
+    g = uniform_random(n, m, seed=seed)
+    attach_standard_props(g, seed=seed + 1)
+    return g
+
+
+class TestManualAvgTeen:
+    def test_two_supersteps_exactly(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["avg_teen_cnt"].run(g, {"K": 30})
+        assert run.metrics.supersteps == 2
+
+    def test_messages_equal_teen_out_edges(self):
+        g = graph_with_props()
+        age = g.node_props["age"]
+        expected = sum(
+            g.out_degree(v) for v in g.nodes() if 13 <= age[v] <= 19
+        )
+        run = MANUAL_PROGRAMS["avg_teen_cnt"].run(g, {"K": 30})
+        assert run.metrics.messages == expected
+
+    def test_empty_payload_messages(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["avg_teen_cnt"].run(g, {"K": 30})
+        assert run.metrics.message_bytes == 0
+
+    def test_missing_age_prop(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            MANUAL_PROGRAMS["avg_teen_cnt"].run(g, {"K": 30})
+
+    def test_no_old_users_yields_zero(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g.add_node_prop("age", [15, 16, 17])
+        run = MANUAL_PROGRAMS["avg_teen_cnt"].run(g, {"K": 30})
+        assert run.result == 0.0
+
+
+class TestManualPageRank:
+    def test_supersteps_is_iterations_plus_one(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["pagerank"].run(g, {"e": 0.0, "d": 0.85, "max_iter": 7})
+        assert run.metrics.supersteps == 8  # init+send, 7 update rounds
+
+    def test_messages_per_superstep_equal_edges(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["pagerank"].run(g, {"e": 0.0, "d": 0.85, "max_iter": 5})
+        assert run.metrics.messages == g.num_edges * run.metrics.supersteps
+
+    def test_converges_early_with_loose_epsilon(self):
+        g = graph_with_props()
+        strict = MANUAL_PROGRAMS["pagerank"].run(g, {"e": 0.0, "d": 0.85, "max_iter": 30})
+        loose = MANUAL_PROGRAMS["pagerank"].run(g, {"e": 0.1, "d": 0.85, "max_iter": 30})
+        assert loose.metrics.supersteps < strict.metrics.supersteps
+
+
+class TestManualSSSP:
+    def test_voting_terminates_without_master(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["sssp"].run(g, {"root": 0})
+        assert run.metrics.halt_reason == "all_halted"
+
+    def test_supersteps_bounded_by_longest_shortest_path(self):
+        # line graph: distances improve once per superstep
+        g = Graph.from_edges(6, [(i, i + 1) for i in range(5)],
+                             edge_props={"len": [1] * 5})
+        run = MANUAL_PROGRAMS["sssp"].run(g, {"root": 0})
+        assert run.outputs["dist"] == [0, 1, 2, 3, 4, 5]
+        # start superstep + one per hop; termination detected at the head of
+        # the next superstep without running it
+        assert run.metrics.supersteps == 6
+
+    def test_isolated_root(self):
+        g = Graph.from_edges(3, [(1, 2)], edge_props={"len": [4]})
+        run = MANUAL_PROGRAMS["sssp"].run(g, {"root": 0})
+        assert run.outputs["dist"][0] == 0
+        assert run.outputs["dist"][1] == float("inf")
+
+
+class TestManualConductance:
+    def test_two_supersteps(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["conductance"].run(g, {"num": 1})
+        assert run.metrics.supersteps == 2
+
+    def test_one_message_per_edge(self):
+        g = graph_with_props()
+        run = MANUAL_PROGRAMS["conductance"].run(g, {"num": 1})
+        assert run.metrics.messages == g.num_edges
+
+
+class TestManualBipartite:
+    def test_three_supersteps_per_round(self):
+        g = bipartite(20, 20, num_edges=100, seed=9)
+        run = MANUAL_PROGRAMS["bipartite_matching"].run(g)
+        assert run.metrics.supersteps % 3 == 2  # halts at a phase-2 master
+
+    def test_empty_graph_halts_immediately(self):
+        g = bipartite(3, 3, num_edges=0, seed=1)
+        run = MANUAL_PROGRAMS["bipartite_matching"].run(g)
+        assert run.result == 0
+        assert run.metrics.supersteps <= 3
+
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        g.add_node_prop("is_left", [True, False])
+        run = MANUAL_PROGRAMS["bipartite_matching"].run(g)
+        assert run.result == 1
+        assert run.outputs["match"] == [1, 0]
+
+
+class TestRegistry:
+    def test_five_baselines_no_bc(self):
+        assert set(MANUAL_PROGRAMS) == {
+            "avg_teen_cnt",
+            "pagerank",
+            "conductance",
+            "sssp",
+            "bipartite_matching",
+        }
+        assert "bc_approx" not in MANUAL_PROGRAMS  # the paper's point

@@ -1,0 +1,199 @@
+"""Optimization tests (§4.2): state merging and intra-loop state merging —
+both the structural effect (fewer supersteps) and semantic preservation."""
+
+import pytest
+
+from repro.compiler import compile_algorithm, compile_source
+from repro.graphgen import attach_standard_props, uniform_random
+from repro.lang import parse_procedure
+from repro.pregelir.ir import MVPhase
+from repro.transform import to_canonical
+from repro.translate import translate
+from repro.translate.merge import merge_intra_loop, merge_states, optimize
+
+
+def ir_for(src_or_name: str, *, algorithm: bool = False):
+    if algorithm:
+        from repro.algorithms.sources import load_procedure
+
+        canonical = to_canonical(load_procedure(src_or_name))
+    else:
+        canonical = to_canonical(parse_procedure(src_or_name))
+    return translate(canonical), canonical.rules
+
+
+def graph():
+    g = uniform_random(50, 200, seed=9)
+    attach_standard_props(g, seed=10)
+    return g
+
+
+class TestStateMerging:
+    def test_consecutive_compute_phases_merge(self):
+        ir, rules = ir_for(
+            """
+            Procedure p(G: Graph; a: N_P<Int>, b: N_P<Int>) {
+              Foreach (n: G.Nodes) { n.a = 1; }
+              Foreach (n: G.Nodes) { n.b = 2; }
+            }
+            """
+        )
+        assert merge_states(ir, rules) == 1
+        assert len(ir.phases) == 1
+        assert "State Merging" in rules.applied
+
+    def test_receive_phase_never_merges_into_its_sender(self):
+        ir, rules = ir_for(
+            """
+            Procedure p(G: Graph, bar: N_P<Int>; foo: N_P<Int>) {
+              Foreach (n: G.Nodes) {
+                Foreach (t: n.Nbrs) { t.foo += n.bar; }
+              }
+            }
+            """
+        )
+        merge_states(ir, rules)
+        assert len(ir.phases) == 2  # send | receive barrier preserved
+
+    def test_receive_merges_with_following_compute(self):
+        ir, rules = ir_for(
+            """
+            Procedure p(G: Graph, bar: N_P<Int>; foo: N_P<Int>, out: N_P<Int>) {
+              Foreach (n: G.Nodes) {
+                Foreach (t: n.Nbrs) { t.foo += n.bar; }
+              }
+              Foreach (n: G.Nodes) { n.out = n.foo; }
+            }
+            """
+        )
+        merge_states(ir, rules)
+        assert len(ir.phases) == 2
+        recv = next(p for p in ir.phases.values() if p.receive)
+        assert recv.compute  # the copy loop was folded in
+
+    def test_merge_blocked_when_next_reads_finalized_global(self):
+        ir, rules = ir_for(
+            """
+            Procedure p(G: Graph, w: N_P<Int>; out: N_P<Int>) {
+              Int s = 0;
+              Foreach (n: G.Nodes) { s += n.w; }
+              Foreach (n: G.Nodes) { n.out = s; }
+            }
+            """
+        )
+        merge_states(ir, rules)
+        # second loop reads broadcast `s`, which is finalized between the
+        # phases: they must stay in separate supersteps.
+        assert len(ir.phases) == 2
+
+    def test_avgteen_collapses_to_two_phases(self):
+        ir, rules = ir_for("avg_teen_cnt", algorithm=True)
+        merge_states(ir, rules)
+        assert len(ir.phases) == 2
+
+
+class TestIntraLoopMerging:
+    def test_pagerank_one_phase_per_iteration(self):
+        ir, rules = ir_for("pagerank", algorithm=True)
+        merge_states(ir, rules)
+        assert merge_intra_loop(ir, rules) == 1
+        assert "Intra-Loop Merge" in rules.applied
+        # the loop body now yields exactly one phase
+        phases_in_code = [i for i in ir.master_code if isinstance(i, MVPhase)]
+        assert len({i.phase for i in phases_in_code}) == len(ir.phases)
+
+    def test_flag_field_added(self):
+        ir, rules = ir_for("pagerank", algorithm=True)
+        merge_states(ir, rules)
+        merge_intra_loop(ir, rules)
+        assert any(name.startswith("_is_first") for name in ir.master_fields)
+
+    def test_sssp_supersteps_drop(self):
+        g = graph()
+        full = compile_algorithm("sssp", emit_java=False)
+        plain = compile_algorithm(
+            "sssp", intra_loop_merging=False, emit_java=False
+        )
+        args = {"root": 0}
+        m_full = full.program.run(g, args).metrics
+        m_plain = plain.program.run(g, args).metrics
+        assert m_full.supersteps < m_plain.supersteps
+
+    def test_not_applied_without_loop(self):
+        ir, rules = ir_for("avg_teen_cnt", algorithm=True)
+        merge_states(ir, rules)
+        assert merge_intra_loop(ir, rules) == 0
+
+
+class TestSemanticPreservation:
+    """Optimized and unoptimized programs must compute identical results."""
+
+    CONFIGS = [
+        dict(state_merging=False, intra_loop_merging=False),
+        dict(state_merging=True, intra_loop_merging=False),
+        dict(state_merging=True, intra_loop_merging=True),
+    ]
+
+    @pytest.mark.parametrize("name,args", [
+        ("pagerank", {"e": 1e-10, "d": 0.85, "max_iter": 8}),
+        ("avg_teen_cnt", {"K": 30}),
+        ("conductance", {"num": 1}),
+        ("sssp", {"root": 0}),
+        ("bc_approx", {"K": 2}),
+    ])
+    def test_results_invariant_under_optimization(self, name, args):
+        g = graph()
+        baseline = None
+        for config in self.CONFIGS:
+            compiled = compile_algorithm(name, emit_java=False, **config)
+            run = compiled.program.run(g, args, seed=23)
+            snapshot = (run.result, {k: tuple(v) for k, v in run.outputs.items()})
+            if baseline is None:
+                baseline = snapshot
+            else:
+                assert _close(snapshot, baseline), (name, config)
+
+    def test_bipartite_results_invariant(self, bipartite_graph):
+        baseline = None
+        for config in self.CONFIGS:
+            compiled = compile_algorithm("bipartite_matching", emit_java=False, **config)
+            run = compiled.program.run(bipartite_graph, {}, seed=23)
+            snapshot = (run.result, tuple(run.outputs["match"]))
+            if baseline is None:
+                baseline = snapshot
+            else:
+                assert snapshot == baseline, config
+
+    def test_message_counts_invariant_modulo_dangling(self):
+        # Intra-loop merging sends one extra round of dangling messages; the
+        # message count may only grow by at most one round's worth.
+        g = graph()
+        args = {"e": 1e-10, "d": 0.85, "max_iter": 6}
+        plain = compile_algorithm(
+            "pagerank", intra_loop_merging=False, emit_java=False
+        ).program.run(g, args).metrics
+        merged = compile_algorithm("pagerank", emit_java=False).program.run(g, args).metrics
+        per_round = g.num_edges
+        assert plain.messages <= merged.messages <= plain.messages + per_round
+
+
+def _close(a, b, tol=1e-9):
+    ra, oa = a
+    rb, ob = b
+    if not _scalar_close(ra, rb, tol):
+        return False
+    for key in oa:
+        for x, y in zip(oa[key], ob[key]):
+            if not _scalar_close(x, y, tol):
+                return False
+    return True
+
+
+def _scalar_close(x, y, tol):
+    if x is None and y is None:
+        return True
+    if isinstance(x, float) or isinstance(y, float):
+        if x == y:
+            return True
+        return abs(x - y) <= tol * max(1.0, abs(x), abs(y))
+    return x == y

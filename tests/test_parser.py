@@ -1,0 +1,334 @@
+"""Parser unit tests: every construct of the Green-Marl subset plus errors."""
+
+import pytest
+
+from repro.lang import ast, parse_procedure, pretty
+from repro.lang.ast import (
+    Assign,
+    Bfs,
+    Binary,
+    BinOp,
+    Cast,
+    DeferredAssign,
+    Foreach,
+    If,
+    IterKind,
+    ReduceAssign,
+    ReduceExpr,
+    ReduceOp,
+    Return,
+    Ternary,
+    Unary,
+    UnOp,
+    VarDecl,
+    While,
+)
+from repro.lang.errors import ParseError
+from repro.lang import types as ty
+
+
+def parse_body(stmts: str, params: str = "G: Graph"):
+    proc = parse_procedure(f"Procedure p({params}) {{ {stmts} }}")
+    return proc.body.stmts
+
+
+def parse_expr_via_return(expr: str, params: str = "G: Graph"):
+    proc = parse_procedure(f"Procedure p({params}): Double {{ Return {expr}; }}")
+    stmt = proc.body.stmts[0]
+    assert isinstance(stmt, Return)
+    return stmt.expr
+
+
+class TestProcedureHeader:
+    def test_simple_signature(self):
+        proc = parse_procedure("Procedure f(G: Graph) { }")
+        assert proc.name == "f"
+        assert len(proc.params) == 1
+        assert proc.params[0].param_type == ty.GRAPH
+
+    def test_input_output_split(self):
+        proc = parse_procedure(
+            "Procedure f(G: Graph, K: Int; out: N_P<Int>): Float { }"
+        )
+        assert [p.is_output for p in proc.params] == [False, False, True]
+        assert proc.return_type == ty.FLOAT
+
+    def test_shared_type_group(self):
+        proc = parse_procedure("Procedure f(G: Graph, e, d: Double) { }")
+        assert [p.name for p in proc.params] == ["G", "e", "d"]
+        assert proc.params[1].param_type == proc.params[2].param_type == ty.DOUBLE
+
+    def test_property_types(self):
+        proc = parse_procedure("Procedure f(G: Graph, a: N_P<Int>, b: E_P<Double>) { }")
+        assert proc.params[1].param_type == ty.NodePropType(ty.INT)
+        assert proc.params[2].param_type == ty.EdgePropType(ty.DOUBLE)
+
+    def test_graph_binding_suffix_ignored(self):
+        proc = parse_procedure("Procedure f(G: Graph, root: Node(G), p: N_P<Int>(G)) { }")
+        assert proc.params[1].param_type == ty.NODE
+
+    def test_missing_paren_is_error(self):
+        with pytest.raises(ParseError):
+            parse_procedure("Procedure f(G: Graph { }")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_body("Int x = 3;")
+        assert isinstance(stmt, VarDecl)
+        assert stmt.names == ["x"]
+        assert stmt.decl_type == ty.INT
+
+    def test_multi_name_decl(self):
+        (stmt,) = parse_body("N_P<Bool> a, b;")
+        assert stmt.names == ["a", "b"]
+
+    def test_assignment(self):
+        (stmt,) = parse_body("Int x = 0; x = 4;")[1:]
+        assert isinstance(stmt, Assign)
+
+    def test_reduce_assignments(self):
+        stmts = parse_body("Int x = 0; x += 1; x *= 2; x min= 3; x max= 4;")
+        ops = [s.op for s in stmts[1:]]
+        assert ops == [ReduceOp.SUM, ReduceOp.PRODUCT, ReduceOp.MIN, ReduceOp.MAX]
+
+    def test_bool_reduce_assignments(self):
+        stmts = parse_body("Bool b = True; b &= False; b |= True;")
+        assert [s.op for s in stmts[1:]] == [ReduceOp.ALL, ReduceOp.ANY]
+
+    def test_increment_desugars_to_add(self):
+        (decl, stmt) = parse_body("Int x = 0; x++;")
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.expr, Binary)
+        assert stmt.expr.op is BinOp.ADD
+
+    def test_deferred_assignment_with_binding(self):
+        stmts = parse_body(
+            "Foreach (t: G.Nodes) { t.p <= 1.0 @ t; }", "G: Graph, p: N_P<Double>"
+        )
+        inner = stmts[0].body.stmts[0]
+        assert isinstance(inner, DeferredAssign)
+        assert inner.bind == "t"
+
+    def test_reduce_assign_binding(self):
+        stmts = parse_body("Int s = 0; Foreach (t: G.Nodes) { s += 1 @ t; }")
+        inner = stmts[1].body.stmts[0]
+        assert isinstance(inner, ReduceAssign) and inner.bind == "t"
+
+    def test_if_else(self):
+        (stmt,) = parse_body("If (True) { Int a = 1; } Else { Int b = 2; }")
+        assert isinstance(stmt, If) and stmt.other is not None
+
+    def test_if_single_statement_arms(self):
+        (stmt,) = parse_body("Int x = 0; If (x == 0) x = 1; Else x = 2;")[1:]
+        assert isinstance(stmt, If)
+        assert len(stmt.then.stmts) == 1
+
+    def test_while(self):
+        (stmt,) = parse_body("While (False) { }")
+        assert isinstance(stmt, While) and not stmt.do_while
+
+    def test_do_while(self):
+        (stmt,) = parse_body("Do { } While (False);")
+        assert isinstance(stmt, While) and stmt.do_while
+
+    def test_return_without_value(self):
+        (stmt,) = parse_body("Return;")
+        assert isinstance(stmt, Return) and stmt.expr is None
+
+
+class TestLoops:
+    def test_foreach_over_nodes(self):
+        (stmt,) = parse_body("Foreach (n: G.Nodes) { }")
+        assert isinstance(stmt, Foreach)
+        assert stmt.parallel and stmt.source.kind is IterKind.NODES
+
+    def test_sequential_for(self):
+        (stmt,) = parse_body("For (n: G.Nodes) { }")
+        assert not stmt.parallel
+
+    def test_neighborhood_kinds(self):
+        src = """
+        Foreach (n: G.Nodes) {
+          Foreach (a: n.Nbrs) { }
+        }
+        Foreach (n: G.Nodes) {
+          Foreach (b: n.InNbrs) { }
+        }
+        Foreach (n: G.Nodes) {
+          Foreach (c: n.OutNbrs) { }
+        }
+        """
+        stmts = parse_body(src)
+        kinds = [s.body.stmts[0].source.kind for s in stmts]
+        assert kinds == [IterKind.NBRS, IterKind.IN_NBRS, IterKind.NBRS]
+
+    def test_filter_bracket_syntax(self):
+        (stmt,) = parse_body("Foreach (n: G.Nodes)[n == n] { }")
+        assert stmt.filter is not None
+
+    def test_filter_paren_syntax(self):
+        (stmt,) = parse_body("Foreach (n: G.Nodes)(n == n) { }")
+        assert stmt.filter is not None
+
+    def test_unknown_iteration_range(self):
+        with pytest.raises(ParseError) as err:
+            parse_body("Foreach (n: G.Vertices) { }")
+        assert "Vertices" in str(err.value)
+
+
+class TestBfs:
+    SRC = """
+    Procedure f(G: Graph, s: Node, sigma: N_P<Float>) {
+      InBFS (v: G.Nodes From s)[v != s] {
+        v.sigma = Sum(w: v.UpNbrs){w.sigma};
+      }
+      InReverse[v != s] {
+        v.sigma += 1.0;
+      }
+    }
+    """
+
+    def test_structure(self):
+        proc = parse_procedure(self.SRC)
+        (stmt,) = proc.body.stmts
+        assert isinstance(stmt, Bfs)
+        assert stmt.iterator == "v"
+        assert stmt.filter is not None
+        assert stmt.reverse_body is not None and stmt.reverse_filter is not None
+
+    def test_up_nbrs_inside_body(self):
+        proc = parse_procedure(self.SRC)
+        stmt = proc.body.stmts[0]
+        reduce = stmt.body.stmts[0].expr
+        assert isinstance(reduce, ReduceExpr)
+        assert reduce.source.kind is IterKind.UP_NBRS
+
+    def test_forward_only(self):
+        proc = parse_procedure(
+            "Procedure f(G: Graph, s: Node) { InBFS (v: G.Nodes From s) { } }"
+        )
+        assert proc.body.stmts[0].reverse_body is None
+
+    def test_bfs_must_iterate_nodes(self):
+        with pytest.raises(ParseError):
+            parse_procedure(
+                "Procedure f(G: Graph, s: Node) { InBFS (v: s.Nbrs From s) { } }"
+            )
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr_via_return("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op is BinOp.ADD
+        assert isinstance(e.rhs, Binary) and e.rhs.op is BinOp.MUL
+
+    def test_precedence_cmp_over_and(self):
+        e = parse_expr_via_return("1 < 2 && 3 < 4")
+        assert e.op is BinOp.AND
+
+    def test_and_over_or(self):
+        e = parse_expr_via_return("True && False || True")
+        assert e.op is BinOp.OR
+
+    def test_parenthesized(self):
+        e = parse_expr_via_return("(1 + 2) * 3")
+        assert e.op is BinOp.MUL
+
+    def test_ternary(self):
+        e = parse_expr_via_return("True ? 1 : 2")
+        assert isinstance(e, Ternary)
+
+    def test_nested_ternary_right_associative(self):
+        e = parse_expr_via_return("True ? 1 : False ? 2 : 3")
+        assert isinstance(e.other, Ternary)
+
+    def test_cast(self):
+        e = parse_expr_via_return("(Double) 3")
+        assert isinstance(e, Cast) and e.to_type == ty.DOUBLE
+
+    def test_abs(self):
+        e = parse_expr_via_return("|1 - 2|")
+        assert isinstance(e, Unary) and e.op is UnOp.ABS
+
+    def test_plus_inf_and_minus_inf(self):
+        pos = parse_expr_via_return("+INF")
+        neg = parse_expr_via_return("-INF")
+        assert not pos.negative and neg.negative
+
+    def test_unary_not(self):
+        e = parse_expr_via_return("!True")
+        assert isinstance(e, Unary) and e.op is UnOp.NOT
+
+    def test_method_chain_to_edge(self):
+        stmts = parse_body(
+            "Foreach (n: G.Nodes) { Foreach (s: n.Nbrs) { Int d = s.ToEdge().w; } }",
+            "G: Graph, w: E_P<Int>",
+        )
+        decl = stmts[0].body.stmts[0].body.stmts[0]
+        assert isinstance(decl.init, ast.PropAccess)
+        assert isinstance(decl.init.target, ast.MethodCall)
+
+    def test_mod_operator(self):
+        e = parse_expr_via_return("5 % 2")
+        assert e.op is BinOp.MOD
+
+
+class TestReduceExpressions:
+    def test_sum_with_filter_and_body(self):
+        e = parse_expr_via_return(
+            "Sum(u: G.Nodes)[u == u]{1.0}",
+        )
+        assert isinstance(e, ReduceExpr)
+        assert e.op is ReduceOp.SUM
+        assert e.filter is not None and e.body is not None
+
+    def test_count_takes_no_body(self):
+        e = parse_expr_via_return("Count(u: G.Nodes)[u == u]")
+        assert e.op is ReduceOp.COUNT and e.body is None
+
+    def test_exist_predicate_in_braces_moves_to_filter(self):
+        e = parse_expr_via_return("Exist(u: G.Nodes){u == u}")
+        assert e.op is ReduceOp.ANY
+        assert e.filter is not None and e.body is None
+
+    def test_all_spelling(self):
+        e = parse_expr_via_return("All(u: G.Nodes)[u == u]")
+        assert e.op is ReduceOp.ALL
+
+    def test_avg(self):
+        e = parse_expr_via_return("Avg(u: G.Nodes){1.0}")
+        assert e.op is ReduceOp.AVG
+
+    def test_sum_requires_body(self):
+        with pytest.raises(ParseError):
+            parse_expr_via_return("Sum(u: G.Nodes)[u == u]")
+
+
+class TestParseErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_procedure("Procedure f(G: Graph) { } garbage")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_body("Int x = 1")
+
+    def test_bad_assignment_operator(self):
+        with pytest.raises(ParseError):
+            parse_body("Int x = 0; x -> 3;")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_procedure("Procedure f(G: Graph) {\n  Int = 3;\n}")
+        assert err.value.span.line == 2
+
+
+class TestRoundTrip:
+    def test_algorithm_sources_round_trip(self):
+        from repro.algorithms.sources import ALGORITHMS, load_source
+
+        for name in ALGORITHMS:
+            first = pretty(parse_procedure(load_source(name)))
+            second = pretty(parse_procedure(first))
+            assert first == second, name

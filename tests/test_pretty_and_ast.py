@@ -1,0 +1,202 @@
+"""Pretty-printer and AST-utility tests, including a hypothesis round-trip
+over randomly generated expressions (parse(pretty(e)) == e structurally)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast, parse_procedure, pretty
+from repro.lang.ast import (
+    Binary,
+    BinOp,
+    BoolLit,
+    Cast,
+    FloatLit,
+    Ident,
+    IntLit,
+    IterKind,
+    PropAccess,
+    Ternary,
+    Unary,
+    UnOp,
+    flip_iter_kind,
+    land,
+    map_expr,
+    walk,
+)
+from repro.lang import types as ty
+
+
+class TestPrecedencePrinting:
+    def roundtrip(self, expr_text: str) -> str:
+        proc = parse_procedure(
+            f"Procedure p(G: Graph): Double {{ Return {expr_text}; }}"
+        )
+        return pretty(proc.body.stmts[0].expr)
+
+    def test_redundant_parens_dropped(self):
+        assert self.roundtrip("((1 + 2)) + 3") == "1 + 2 + 3"
+
+    def test_needed_parens_kept(self):
+        assert self.roundtrip("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_right_associative_sub(self):
+        # 1 - (2 - 3) must keep its parens; (1 - 2) - 3 must not
+        assert self.roundtrip("1 - (2 - 3)") == "1 - (2 - 3)"
+        assert self.roundtrip("(1 - 2) - 3") == "1 - 2 - 3"
+
+    def test_and_inside_or(self):
+        assert self.roundtrip("True && False || True") == "True && False || True"
+        assert self.roundtrip("True && (False || True)") == "True && (False || True)"
+
+    def test_ternary_in_operand_position(self):
+        out = self.roundtrip("(True ? 1 : 2) + 3")
+        assert out == "(True ? 1 : 2) + 3"
+
+    def test_unary_minus_of_sum(self):
+        assert self.roundtrip("-(1 + 2)") == "-(1 + 2)"
+
+    def test_abs_never_needs_parens(self):
+        assert self.roundtrip("|1 - 2| * 3") == "|1 - 2| * 3"
+
+    def test_cast_binds_tighter_than_mul(self):
+        assert self.roundtrip("(Double) 1 * 2") == "(Double) 1 * 2"
+
+
+def _expr_strategy():
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=99).map(IntLit),
+        st.just(BoolLit(True)),
+        st.just(BoolLit(False)),
+    )
+
+    def extend(children):
+        numeric_op = st.sampled_from(
+            [BinOp.ADD, BinOp.SUB, BinOp.MUL]
+        )
+        return st.one_of(
+            st.tuples(numeric_op, children, children).map(
+                lambda t: Binary(t[0], t[1], t[2])
+            ),
+            children.map(lambda e: Unary(UnOp.NEG, e)),
+            st.tuples(children, children, children).map(
+                lambda t: Ternary(Binary(BinOp.LT, t[0], t[1]), t[1], t[2])
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+class TestRoundTripProperty:
+    @given(_expr_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_pretty_parse_pretty_is_stable(self, expr):
+        text = pretty(expr)
+        proc = parse_procedure(
+            f"Procedure p(G: Graph) {{ Int z = {text}; }}"
+        )
+        reparsed = proc.body.stmts[0].init
+        assert pretty(reparsed) == text
+
+
+class TestAstUtilities:
+    def test_walk_visits_all_nodes(self):
+        proc = parse_procedure(
+            "Procedure p(G: Graph) { If (True) { Int a = 1 + 2; } }"
+        )
+        kinds = {type(n).__name__ for n in walk(proc.body)}
+        assert {"Block", "If", "VarDecl", "Binary", "IntLit", "BoolLit"} <= kinds
+
+    def test_map_expr_rewrites_leaves(self):
+        expr = Binary(BinOp.ADD, Ident("x"), Binary(BinOp.MUL, Ident("x"), IntLit(2)))
+
+        def bump(e):
+            if isinstance(e, Ident):
+                return IntLit(5)
+            return e
+
+        out = map_expr(expr, bump)
+        assert pretty(out) == "5 + 5 * 2"
+
+    def test_land_single(self):
+        e = Ident("a")
+        assert land(e) is e
+
+    def test_land_multiple(self):
+        out = land(Ident("a"), Ident("b"), Ident("c"))
+        assert pretty(out) == "a && b && c"
+
+    def test_flip_iter_kind(self):
+        assert flip_iter_kind(IterKind.NBRS) is IterKind.IN_NBRS
+        assert flip_iter_kind(IterKind.IN_NBRS) is IterKind.NBRS
+        assert flip_iter_kind(IterKind.UP_NBRS) is IterKind.DOWN_NBRS
+        assert flip_iter_kind(IterKind.DOWN_NBRS) is IterKind.UP_NBRS
+
+    def test_stmt_exprs_and_sub_blocks(self):
+        proc = parse_procedure(
+            "Procedure p(G: Graph) { While (True) { Int a = 1; } }"
+        )
+        loop = proc.body.stmts[0]
+        assert len(ast.stmt_exprs(loop)) == 1
+        assert len(ast.sub_blocks(loop)) == 1
+
+
+class TestTypes:
+    def test_join_numeric_widening(self):
+        assert ty.join_numeric(ty.INT, ty.DOUBLE) == ty.DOUBLE
+        assert ty.join_numeric(ty.FLOAT, ty.LONG) == ty.FLOAT
+        assert ty.join_numeric(ty.INT, ty.BOOL) is None
+
+    def test_assignable(self):
+        assert ty.assignable(ty.DOUBLE, ty.INT)
+        assert ty.assignable(ty.INT, ty.DOUBLE)  # narrowing allowed (GM-style)
+        assert not ty.assignable(ty.INT, ty.NODE)
+        assert ty.assignable(ty.NODE, ty.NODE)
+
+    def test_comparable(self):
+        assert ty.comparable(ty.NODE, ty.NODE)
+        assert ty.comparable(ty.INT, ty.DOUBLE)
+        assert not ty.comparable(ty.NODE, ty.INT)
+
+    def test_defaults(self):
+        assert ty.default_value(ty.INT) == 0
+        assert ty.default_value(ty.DOUBLE) == 0.0
+        assert ty.default_value(ty.BOOL) is False
+        assert ty.default_value(ty.NODE) == ty.NIL == -1
+
+    def test_type_spelling(self):
+        assert str(ty.NodePropType(ty.INT)) == "N_P<Int>"
+        assert str(ty.EdgePropType(ty.DOUBLE)) == "E_P<Double>"
+
+
+class TestSymbols:
+    def test_scope_lookup_walks_outward(self):
+        from repro.lang.symbols import Scope, Symbol, SymbolKind
+
+        outer = Scope()
+        outer.define(Symbol("x", ty.INT, SymbolKind.LOCAL))
+        inner = outer.child()
+        assert inner.lookup("x") is not None
+        assert inner.lookup("y") is None
+        assert not inner.defined_here("x")
+
+    def test_shadowing(self):
+        from repro.lang.symbols import Scope, Symbol, SymbolKind
+
+        outer = Scope()
+        outer.define(Symbol("x", ty.INT, SymbolKind.LOCAL))
+        inner = outer.child()
+        shadow = Symbol("x", ty.DOUBLE, SymbolKind.LOCAL)
+        inner.define(shadow)
+        assert inner.lookup("x") is shadow
+        assert outer.lookup("x") is not shadow
+
+    def test_symbol_predicates(self):
+        from repro.lang.symbols import Symbol, SymbolKind
+
+        prop = Symbol("p", ty.NodePropType(ty.INT), SymbolKind.PROPERTY)
+        it = Symbol("n", ty.NODE, SymbolKind.ITERATOR)
+        local = Symbol("s", ty.INT, SymbolKind.LOCAL)
+        assert prop.is_property() and not prop.is_scalar()
+        assert it.is_iterator()
+        assert local.is_scalar()

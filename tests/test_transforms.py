@@ -1,0 +1,434 @@
+"""Transformation-pass tests: normalize, BFS lowering, random access,
+dissection and edge flipping — the §4.1 rules, checked structurally."""
+
+import pytest
+
+from repro.lang import parse_procedure, pretty
+from repro.lang.ast import (
+    Assign,
+    Bfs,
+    Foreach,
+    Ident,
+    IterKind,
+    PropAccess,
+    ReduceAssign,
+    ReduceExpr,
+    VarDecl,
+    While,
+    walk,
+)
+from repro.lang.errors import NotPregelCanonicalError, TransformError
+from repro.lang.typecheck import typecheck
+from repro.transform import to_canonical
+from repro.transform.bfs_lowering import lower_bfs
+from repro.transform.dissect import dissect
+from repro.transform.edge_flip import flip_edges
+from repro.transform.normalize import normalize
+from repro.transform.random_access import rewrite_random_access
+from repro.transform.rewriter import NameGenerator
+
+
+def prepped(src: str):
+    proc = parse_procedure(src)
+    typecheck(proc)
+    return proc
+
+
+def run_normalize(src: str):
+    proc = prepped(src)
+    normalize(proc)
+    typecheck(proc)
+    return proc
+
+
+class TestNormalize:
+    def test_group_assignment_becomes_foreach(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, d: N_P<Int>) { G.d = 0; }"
+        )
+        (loop,) = proc.body.stmts
+        assert isinstance(loop, Foreach)
+        assert loop.source.kind is IterKind.NODES
+        body_stmt = loop.body.stmts[0]
+        assert isinstance(body_stmt, Assign)
+        assert isinstance(body_stmt.target, PropAccess)
+
+    def test_group_assignment_reads_rewritten(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, a, b: N_P<Int>) { G.a = G.b; }"
+        )
+        loop = proc.body.stmts[0]
+        assign = loop.body.stmts[0]
+        # RHS must read the iterator's own property, not the graph's
+        assert isinstance(assign.expr, PropAccess)
+        assert isinstance(assign.expr.target, Ident)
+        assert assign.expr.target.name == loop.iterator
+
+    def test_sum_extraction(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, w: N_P<Double>): Double {"
+            "  Double s = Sum(u: G.Nodes){u.w};"
+            "  Return s; }"
+        )
+        kinds = [type(s).__name__ for s in proc.body.stmts]
+        assert kinds == ["VarDecl", "Foreach", "VarDecl", "Return"]
+        assert not any(isinstance(n, ReduceExpr) for n in walk(proc.body))
+
+    def test_count_becomes_sum_of_ones(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, age: N_P<Int>): Int {"
+            "  Int c = Count(u: G.Nodes)[u.age > 10];"
+            "  Return c; }"
+        )
+        loop = proc.body.stmts[1]
+        accum = loop.body.stmts[0]
+        assert isinstance(accum, ReduceAssign)
+        assert loop.filter is not None
+
+    def test_nested_reduce_extraction(self):
+        # Conductance's Sum{Count} shape: inner Count lands inside the outer loop
+        proc = run_normalize(
+            "Procedure p(G: Graph, m: N_P<Int>): Int {"
+            "  Int c = Sum(u: G.Nodes){Count(j: u.Nbrs)[j.m == 1]};"
+            "  Return c; }"
+        )
+        outer = proc.body.stmts[1]
+        assert isinstance(outer, Foreach)
+        inner_kinds = [type(s).__name__ for s in outer.body.stmts]
+        assert "Foreach" in inner_kinds
+        assert not any(isinstance(n, ReduceExpr) for n in walk(proc.body))
+
+    def test_avg_expands_to_sum_and_count(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, w: N_P<Int>): Double {"
+            "  Double a = Avg(u: G.Nodes){u.w};"
+            "  Return a; }"
+        )
+        loops = [s for s in proc.body.stmts if isinstance(s, Foreach)]
+        assert len(loops) == 2  # one for the sum, one for the count
+
+    def test_property_decl_hoisted_from_while(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph) { While (False) { N_P<Int> tmp; } }"
+        )
+        assert isinstance(proc.body.stmts[0], VarDecl)
+        assert proc.body.stmts[0].decl_type.is_property()
+
+    def test_reduce_in_while_condition_rejected(self):
+        with pytest.raises(TransformError):
+            run_normalize(
+                "Procedure p(G: Graph, w: N_P<Int>) {"
+                "  While (Exist(u: G.Nodes){u.w > 0}) { } }"
+            )
+
+    def test_exist_becomes_or_reduction(self):
+        proc = run_normalize(
+            "Procedure p(G: Graph, f: N_P<Bool>): Bool {"
+            "  Bool b = Exist(u: G.Nodes){u.f};"
+            "  Return b; }"
+        )
+        loop = proc.body.stmts[1]
+        accum = loop.body.stmts[0]
+        assert isinstance(accum, ReduceAssign)
+        assert loop.filter is None  # the predicate is the reduced value
+
+
+class TestBfsLowering:
+    SRC = """
+    Procedure p(G: Graph, s: Node, sigma: N_P<Float>) {
+      InBFS (v: G.Nodes From s)[v != s] {
+        v.sigma = Sum(w: v.UpNbrs){w.sigma};
+      }
+      InReverse[v != s] {
+        v.sigma += 1.0;
+      }
+    }
+    """
+
+    def lowered(self):
+        proc = prepped(self.SRC)
+        normalize(proc)
+        typecheck(proc)
+        assert lower_bfs(proc, "G", NameGenerator.for_procedure(proc))
+        typecheck(proc)
+        return proc
+
+    def test_no_bfs_remains(self):
+        proc = self.lowered()
+        assert not any(isinstance(n, Bfs) for n in walk(proc.body))
+
+    def test_two_while_loops_forward_and_reverse(self):
+        proc = self.lowered()
+        whiles = [s for s in proc.body.stmts if isinstance(s, While)]
+        assert len(whiles) == 2
+
+    def test_up_nbrs_rewritten_to_in_nbrs_with_level_filter(self):
+        proc = self.lowered()
+        kinds = [
+            n.source.kind
+            for n in walk(proc.body)
+            if isinstance(n, Foreach) and n.source.kind is IterKind.UP_NBRS
+        ]
+        assert kinds == []
+        in_loops = [
+            n
+            for n in walk(proc.body)
+            if isinstance(n, Foreach) and n.source.kind is IterKind.IN_NBRS
+        ]
+        assert in_loops and all(l.filter is not None for l in in_loops)
+
+    def test_level_property_added(self):
+        proc = self.lowered()
+        props = [
+            s
+            for s in proc.body.stmts
+            if isinstance(s, VarDecl) and s.decl_type.is_property()
+        ]
+        assert any("lev" in name for d in props for name in d.names)
+
+    def test_nested_bfs_rejected(self):
+        src = """
+        Procedure p(G: Graph, s: Node) {
+          Foreach (n: G.Nodes) {
+            InBFS (v: G.Nodes From s) { }
+          }
+        }
+        """
+        proc = prepped(src)
+        with pytest.raises(TransformError):
+            lower_bfs(proc, "G", NameGenerator.for_procedure(proc))
+
+
+class TestRandomAccess:
+    def test_sequential_write_becomes_guarded_loop(self):
+        proc = prepped(
+            "Procedure p(G: Graph, root: Node, d: N_P<Int>) { root.d = 0; }"
+        )
+        assert rewrite_random_access(proc, "G", NameGenerator.for_procedure(proc))
+        (loop,) = proc.body.stmts
+        assert isinstance(loop, Foreach)
+        assert loop.filter is not None
+        assert pretty(loop.filter).endswith("== root")
+
+    def test_write_inside_while_handled(self):
+        proc = prepped(
+            "Procedure p(G: Graph, root: Node, d: N_P<Int>) {"
+            "  While (False) { root.d = 0; } }"
+        )
+        assert rewrite_random_access(proc, "G", NameGenerator.for_procedure(proc))
+        loop = proc.body.stmts[0].body.stmts[0]
+        assert isinstance(loop, Foreach)
+
+    def test_sequential_random_read_rejected(self):
+        proc = prepped(
+            "Procedure p(G: Graph, root: Node, d: N_P<Int>) { Int x = root.d; }"
+        )
+        with pytest.raises(TransformError) as err:
+            rewrite_random_access(proc, "G", NameGenerator.for_procedure(proc))
+        assert "random read" in str(err.value)
+
+    def test_untouched_parallel_writes(self):
+        proc = prepped(
+            "Procedure p(G: Graph, d: N_P<Int>) {"
+            "  Foreach (n: G.Nodes) { n.d = 0; } }"
+        )
+        assert not rewrite_random_access(proc, "G", NameGenerator.for_procedure(proc))
+
+
+def canonicalize(src: str):
+    return to_canonical(parse_procedure(src))
+
+
+class TestDissect:
+    PULL_SRC = """
+    Procedure p(G: Graph, age: N_P<Int>; cnt: N_P<Int>) {
+      Foreach (n: G.Nodes) {
+        n.cnt = Count(t: n.InNbrs)[t.age >= 13];
+      }
+    }
+    """
+
+    def test_scalar_promoted_and_loop_fissioned(self):
+        result = canonicalize(self.PULL_SRC)
+        loops = [s for s in result.procedure.body.stmts if isinstance(s, Foreach)]
+        # init, flipped accumulation, copy-back
+        assert len(loops) == 3
+        assert "Dissecting Loops" in result.rules.applied
+
+    def test_temp_property_declared(self):
+        result = canonicalize(self.PULL_SRC)
+        decls = [
+            s
+            for s in result.procedure.body.stmts
+            if isinstance(s, VarDecl) and s.decl_type.is_property()
+        ]
+        assert len(decls) == 1
+
+    def test_push_loop_not_dissected(self):
+        src = """
+        Procedure p(G: Graph, bar: N_P<Int>; foo: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.Nbrs) {
+              t.foo += n.bar;
+            }
+          }
+        }
+        """
+        result = canonicalize(src)
+        assert "Dissecting Loops" not in result.rules.applied
+        assert "Flipping Edge" not in result.rules.applied
+
+    def test_mixed_pull_push_rejected(self):
+        src = """
+        Procedure p(G: Graph, a: N_P<Int>; b: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.Nbrs) {
+              t.b += 1;
+              n.a += 1;
+            }
+          }
+        }
+        """
+        with pytest.raises(TransformError):
+            canonicalize(src)
+
+    def test_conditional_pull_rejected(self):
+        src = """
+        Procedure p(G: Graph, a: N_P<Int>, flag: N_P<Bool>) {
+          Foreach (n: G.Nodes) {
+            If (n.flag) {
+              Foreach (t: n.InNbrs) {
+                n.a += 1;
+              }
+            }
+          }
+        }
+        """
+        with pytest.raises(TransformError) as err:
+            canonicalize(src)
+        assert "conditional" in str(err.value)
+
+
+class TestEdgeFlip:
+    def test_flip_swaps_iterators_and_direction(self):
+        src = """
+        Procedure p(G: Graph, bar: N_P<Int>; foo: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.InNbrs) {
+              n.foo max= t.bar;
+            }
+          }
+        }
+        """
+        result = canonicalize(src)
+        (outer,) = [s for s in result.procedure.body.stmts if isinstance(s, Foreach)]
+        assert outer.iterator == "t"
+        inner = outer.body.stmts[0]
+        assert isinstance(inner, Foreach)
+        assert inner.iterator == "n"
+        assert inner.source.kind is IterKind.NBRS  # InNbrs flipped to Nbrs
+        assert "Flipping Edge" in result.rules.applied
+
+    def test_sender_only_filter_moves_to_new_outer(self):
+        src = """
+        Procedure p(G: Graph, age: N_P<Int>; cnt: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.InNbrs)[t.age >= 13 && t.age <= 19] {
+              n.cnt += 1;
+            }
+          }
+        }
+        """
+        result = canonicalize(src)
+        outer = next(s for s in result.procedure.body.stmts if isinstance(s, Foreach))
+        assert outer.filter is not None
+        assert "age" in pretty(outer.filter)
+        inner = outer.body.stmts[0]
+        assert inner.filter is None
+
+    def test_receiver_filter_stays_inner(self):
+        src = """
+        Procedure p(G: Graph, m: N_P<Int>; cnt: N_P<Int>) {
+          Foreach (u: G.Nodes)[u.m == 1] {
+            Foreach (j: u.Nbrs)[j.m != 1] {
+              u.cnt += 1;
+            }
+          }
+        }
+        """
+        result = canonicalize(src)
+        outer = next(s for s in result.procedure.body.stmts if isinstance(s, Foreach))
+        # new outer is j (the sender); its filter is the old inner j-filter
+        assert outer.iterator == "j"
+        inner = outer.body.stmts[0]
+        # old outer filter (on u) moved to the receiver side
+        assert inner.filter is not None and "u.m" in pretty(inner.filter)
+        assert inner.source.kind is IterKind.IN_NBRS
+
+    def test_flip_with_edge_property_rejected(self):
+        src = """
+        Procedure p(G: Graph, w: E_P<Int>; acc: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.InNbrs) {
+              Edge e = t.ToEdge();
+              n.acc += e.w;
+            }
+          }
+        }
+        """
+        with pytest.raises((TransformError, NotPregelCanonicalError)):
+            canonicalize(src)
+
+
+class TestPipelineEndToEnd:
+    def test_all_algorithms_canonicalize(self):
+        from repro.algorithms.sources import ALGORITHMS, load_procedure
+
+        for name in ALGORITHMS:
+            result = to_canonical(load_procedure(name))
+            assert result.procedure is not None
+
+    def test_canonical_output_is_reparseable(self):
+        from repro.algorithms.sources import ALGORITHMS, load_procedure
+
+        for name in ALGORITHMS:
+            result = to_canonical(load_procedure(name))
+            text = pretty(result.procedure)
+            reparsed = parse_procedure(text)
+            typecheck(reparsed)
+
+    def test_expected_rules_per_algorithm(self):
+        from repro.algorithms.sources import load_procedure
+
+        bc = to_canonical(load_procedure("bc_approx"))
+        assert {"BFS Traversal", "Dissecting Loops", "Flipping Edge", "Random Access (Seq.)"} <= bc.rules.applied
+        sssp = to_canonical(load_procedure("sssp"))
+        assert "Random Access (Seq.)" in sssp.rules.applied
+        assert "Flipping Edge" not in sssp.rules.applied
+        bip = to_canonical(load_procedure("bipartite_matching"))
+        assert "BFS Traversal" not in bip.rules.applied
+
+    def test_sequential_for_rejected(self):
+        with pytest.raises(NotPregelCanonicalError):
+            canonicalize("Procedure p(G: Graph, a: N_P<Int>) { For (n: G.Nodes) { n.a = 0; } }")
+
+    def test_return_inside_loop_rejected(self):
+        with pytest.raises(NotPregelCanonicalError):
+            canonicalize(
+                "Procedure p(G: Graph): Int { Foreach (n: G.Nodes) { Return 1; } }"
+            )
+
+    def test_triple_nesting_rejected(self):
+        src = """
+        Procedure p(G: Graph, a: N_P<Int>) {
+          Foreach (n: G.Nodes) {
+            Foreach (t: n.Nbrs) {
+              Foreach (u: t.Nbrs) {
+                u.a += 1;
+              }
+            }
+          }
+        }
+        """
+        with pytest.raises((TransformError, NotPregelCanonicalError)):
+            canonicalize(src)
