@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ...codegen.executable import RunResult
+from ...pregel.ft import ColumnState
 from ...pregel.graph import Graph
 from ...pregel.runtime import PregelEngine
 
@@ -29,6 +30,12 @@ class ManualProgram:
 
 
 def finish(engine: PregelEngine, outputs: dict[str, list], fields: dict[str, list]) -> RunResult:
+    if engine.ft is not None and fields:
+        # The closure-captured per-vertex columns are exactly what a worker
+        # crash destroys; register them so checkpoints cover them.  Master
+        # state of the manual programs lives in the engine's broadcast map,
+        # which the engine's own checkpoint already carries.
+        engine.ft.register(ColumnState(fields))
     metrics = engine.run()
     return RunResult(metrics, outputs, metrics.result, fields)
 

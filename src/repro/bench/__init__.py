@@ -2,10 +2,12 @@
 
 from .harness import (
     FIGURE6_ALGORITHMS,
+    FaultAblationRow,
     Measurement,
     PairResult,
     bc_experiments,
     default_args,
+    fault_ablation,
     figure6_experiments,
     run_pair,
 )
@@ -14,6 +16,7 @@ from .tables import render_check_matrix, render_table
 
 __all__ = [
     "FIGURE6_ALGORITHMS",
+    "FaultAblationRow",
     "Measurement",
     "PAPER_TABLE2",
     "PairResult",
@@ -21,6 +24,7 @@ __all__ = [
     "bc_experiments",
     "count_loc",
     "default_args",
+    "fault_ablation",
     "figure6_experiments",
     "render_check_matrix",
     "render_table",

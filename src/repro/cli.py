@@ -74,14 +74,49 @@ def _load_cli_graph(ns: argparse.Namespace):
     return load_graph(ns.graph, ns.scale, ns.seed)
 
 
+def _build_fault_tolerance(ns: argparse.Namespace):
+    """A FaultTolerance manager from the CLI flags, or None when unused."""
+    if not ns.checkpoint_every and not ns.inject_fault:
+        return None
+    from .pregel.ft import FaultPlan, FaultTolerance, parse_crash
+
+    try:
+        plan = FaultPlan(
+            checkpoint_every=ns.checkpoint_every,
+            crashes=tuple(parse_crash(spec) for spec in ns.inject_fault),
+            recovery=ns.recovery,
+        )
+        for crash in plan.crashes:
+            if crash.worker >= ns.workers:
+                raise ValueError(
+                    f"--inject-fault names worker {crash.worker} "
+                    f"but --workers is {ns.workers}"
+                )
+    except ValueError as exc:
+        raise SystemExit(f"gm-pregel run: {exc}")
+    return FaultTolerance(plan)
+
+
 def _cmd_run(ns: argparse.Namespace) -> int:
     source = Path(ns.file).read_text()
     graph = _load_cli_graph(ns)
     result = compile_source(source, emit_java=False)
     args = _parse_args_list(ns.arg)
-    run = result.program.run(graph, args, num_workers=ns.workers, seed=ns.seed)
+    run = result.program.run(
+        graph,
+        args,
+        num_workers=ns.workers,
+        seed=ns.seed,
+        ft=_build_fault_tolerance(ns),
+    )
     print(f"graph: {graph}")
     print(f"metrics: {run.metrics.summary()}")
+    if run.metrics.faults_injected:
+        print(
+            f"recovery: {ns.recovery} survived {run.metrics.faults_injected} "
+            f"worker crash(es), {run.metrics.lost_supersteps} superstep(s) lost, "
+            f"{run.metrics.recovery_replay_work} vertex computations replayed"
+        )
     if run.result is not None:
         print(f"result: {run.result}")
     for name, column in run.outputs.items():
@@ -176,6 +211,29 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--arg", action="append", default=[], help="procedure argument name=value"
         )
+        if name == "run":
+            p.add_argument(
+                "--checkpoint-every",
+                type=int,
+                default=0,
+                metavar="N",
+                help="checkpoint engine+program state every N supersteps (0 = off)",
+            )
+            p.add_argument(
+                "--inject-fault",
+                action="append",
+                default=[],
+                metavar="WORKER@STEP",
+                help="crash the given worker entering the given superstep "
+                "(repeatable); the run recovers from the latest checkpoint",
+            )
+            p.add_argument(
+                "--recovery",
+                choices=("rollback", "confined"),
+                default="rollback",
+                help="recovery strategy: rollback replays every partition, "
+                "confined replays only the failed worker's partition",
+            )
         p.set_defaults(fn=fn)
 
     p_bench = sub.add_parser("bench", help="regenerate the paper's tables")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..lang.ast import BinOp, UnOp
 from ..lang import types as ty
+from ..pregel.ft import ColumnState
 from ..pregel.globalmap import GlobalOp, combine
 from ..pregel.graph import Graph
 from ..pregel.runtime import PregelEngine, RunMetrics
@@ -398,6 +399,21 @@ class GeneratedMaster:
                 raise ValueError(f"unknown master instruction {type(instr).__name__}")
             self._pc += 1
 
+    # -- fault tolerance (Checkpointable) -------------------------------
+
+    def checkpoint_state(self) -> dict:
+        return {"fields": dict(self.fields), "pc": self._pc, "halted": self.halted}
+
+    def restore_state(self, state: dict, vertices=None) -> None:
+        if vertices is not None:
+            # Confined recovery: the master did not fail, so its scalar
+            # fields and program counter are already correct.
+            return
+        self.fields.clear()
+        self.fields.update(state["fields"])
+        self._pc = state["pc"]
+        self.halted = state["halted"]
+
     def _eval(self, e: VExpr, ctx: PregelEngine):
         if isinstance(e, Lit):
             return e.value
@@ -576,6 +592,11 @@ class CompiledProgram:
         )
         env["B"] = engine.globals.broadcast
         engine._vertex_compute = self._factory(env)
+        if engine.ft is not None:
+            # Checkpoints must cover everything a worker crash can destroy:
+            # the vertex property columns and the master's interpreter state.
+            engine.ft.register(ColumnState(fields))
+            engine.ft.register(master)
         return engine, fields, master
 
     def run(

@@ -1,10 +1,24 @@
-"""Pregel/GPS runtime simulator: graph, BSP engine, global-objects map."""
+"""Pregel/GPS runtime simulator: graph, BSP engine, global-objects map,
+fault tolerance (checkpointing, crash injection, recovery)."""
 
+from .ft import (
+    Checkpointable,
+    ColumnState,
+    CrashEvent,
+    FaultPlan,
+    FaultTolerance,
+    parse_crash,
+)
 from .globalmap import GlobalObjectMap, GlobalOp, combine
 from .graph import Graph
 from .runtime import PregelEngine, RunMetrics, default_message_size
 
 __all__ = [
+    "Checkpointable",
+    "ColumnState",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultTolerance",
     "GlobalObjectMap",
     "GlobalOp",
     "Graph",
@@ -12,4 +26,5 @@ __all__ = [
     "RunMetrics",
     "combine",
     "default_message_size",
+    "parse_crash",
 ]

@@ -1,0 +1,349 @@
+"""Fault tolerance for the Pregel simulator: checkpointing, crash injection,
+and recovery.
+
+Pregel (and GPS, the substrate of the paper's evaluation) is a
+*fault-tolerant* BSP system: workers write a checkpoint of their partition
+state to durable storage at configurable superstep intervals, the master
+detects worker failures at the barrier, and the job recovers by reloading
+the latest checkpoint and replaying the lost supersteps.  This module adds
+that layer to the simulator so programs — generated and hand-written alike —
+can be executed, metered, and *verified* under failure.
+
+Three pieces:
+
+* **Checkpointing** — at superstep boundaries (start of superstep, before
+  ``master.compute()``) the engine's state and every registered
+  :class:`Checkpointable` program state are pickled into an immutable blob.
+  The blob's length is the metered checkpoint cost
+  (:attr:`~repro.pregel.runtime.RunMetrics.checkpoint_bytes`).  Pickling
+  doubles as deep isolation: a later restore can never alias live state.
+* **Deterministic fault injection** — a :class:`FaultPlan` carries a
+  schedule of :class:`CrashEvent`\\ s (worker *w* dies at the barrier
+  entering superstep *s*, losing the partition it owns) plus an optional
+  transient cross-worker message-loss rate whose retry/backoff cost is
+  metered from a dedicated seeded RNG (so the fault machinery never
+  perturbs the algorithm's own random stream).
+* **Recovery** — two strategies, selected by ``FaultPlan.recovery``:
+
+  - ``"rollback"`` (Pregel's classic checkpoint recovery): *every*
+    partition reloads the latest checkpoint and the engine replays all lost
+    supersteps.  Metrics counters are part of the checkpoint, so after
+    replay the run's ledger is bit-identical to a failure-free execution.
+  - ``"confined"`` (GPS-style confined recovery): only the failed worker's
+    partition reloads its checkpoint slice; its lost supersteps are
+    recomputed from the per-superstep message and broadcast logs the
+    healthy workers retained, while their own state — and the metrics
+    ledger, which lives on the master — is untouched.  Replay runs with
+    sends and global puts suppressed (their effects already reached the
+    healthy side), so recovery work is proportional to one partition, not
+    the whole graph.
+
+Because the engine is deterministic (the master RNG state is part of every
+checkpoint), both strategies produce results, supersteps, and message
+totals bit-identical to a failure-free run — the property
+``tests/test_fault_tolerance.py`` asserts for all six paper algorithms.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime uses duck typing)
+    from .runtime import PregelEngine
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Program-owned state that must survive a worker crash.
+
+    ``checkpoint_state`` returns a picklable snapshot payload;
+    ``restore_state`` writes a loaded payload back **in place** (live
+    closures and generated code alias the underlying columns, so restores
+    must mutate, never rebind).  ``vertices`` restricts the restore to one
+    partition's vertex ids (confined recovery); ``None`` means restore
+    everything, including any non-partitioned state such as master scalars.
+    """
+
+    def checkpoint_state(self) -> dict: ...
+
+    def restore_state(self, state: dict, vertices: Sequence[int] | None = None) -> None: ...
+
+
+class ColumnState:
+    """A :class:`Checkpointable` over columnar per-vertex state.
+
+    Covers both the generated programs' property columns (``F_name`` arrays)
+    and the manual baselines' closure-captured lists (``pr``, ``dist``,
+    ``match``, …): anything shaped ``{name: one-value-per-vertex list}``.
+    """
+
+    def __init__(self, columns: dict[str, list]):
+        self.columns = columns
+
+    def checkpoint_state(self) -> dict:
+        # A shallow copy per column suffices: the enclosing checkpoint is
+        # pickled, which deep-copies nested values (e.g. _in_nbrs lists).
+        return {name: list(col) for name, col in self.columns.items()}
+
+    def restore_state(self, state: dict, vertices: Sequence[int] | None = None) -> None:
+        for name, saved in state.items():
+            col = self.columns[name]
+            if vertices is None:
+                col[:] = saved
+            else:
+                for v in vertices:
+                    col[v] = saved[v]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Worker ``worker`` fails at the barrier entering superstep ``superstep``,
+    losing the vertex partition (fields, voted bits, undelivered inbox) it
+    owns.  Each event fires at most once — recovery re-executes the same
+    superstep numbers, and a crash is not re-injected into its own replay."""
+
+    worker: int
+    superstep: int
+
+
+def parse_crash(spec: str) -> CrashEvent:
+    """Parse the CLI syntax ``WORKER@STEP`` (e.g. ``1@5``)."""
+    try:
+        worker_text, step_text = spec.split("@", 1)
+        return CrashEvent(int(worker_text), int(step_text))
+    except ValueError:
+        raise ValueError(
+            f"invalid fault spec '{spec}': expected WORKER@STEP, e.g. 1@5"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything about a run's failure model, fixed up front (deterministic).
+
+    * ``checkpoint_every`` — checkpoint at supersteps 0, k, 2k, …; 0 disables
+      periodic checkpoints (an initial superstep-0 checkpoint is still taken
+      whenever crashes are scheduled, mirroring the durable job input).
+    * ``crashes`` — the injection schedule.
+    * ``recovery`` — ``"rollback"`` or ``"confined"`` (see module docstring).
+    * ``message_loss_rate`` / ``max_retries`` — probability that one delivery
+      attempt of a cross-worker message fails transiently; each failed
+      attempt is retried with exponential backoff (1, 2, 4, … simulated
+      units) up to ``max_retries`` times and metered in
+      ``messages_retried`` / ``retry_backoff_units``.  Delivery ultimately
+      succeeds, so results are unaffected — this meters the *cost* of an
+      at-least-once network, it does not drop data.
+    * ``seed`` — seeds the injector's own RNG, independent of the engine's.
+    """
+
+    checkpoint_every: int = 0
+    crashes: tuple[CrashEvent, ...] = ()
+    recovery: str = "rollback"
+    message_loss_rate: float = 0.0
+    max_retries: int = 3
+    seed: int = 29
+
+    def __post_init__(self):
+        if self.recovery not in ("rollback", "confined"):
+            raise ValueError(
+                f"unknown recovery strategy '{self.recovery}' "
+                "(expected 'rollback' or 'confined')"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if not 0.0 <= self.message_loss_rate < 1.0:
+            raise ValueError("message_loss_rate must be in [0, 1)")
+
+
+class FaultTolerance:
+    """Per-run fault-tolerance manager: owns checkpoints, logs, and recovery.
+
+    Create one per execution (it is stateful) and hand it to the engine:
+    ``program.run(graph, args, ft=FaultTolerance(plan))``.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._engine: "PregelEngine | None" = None
+        self._programs: list[Checkpointable] = []
+        #: (superstep, pickled payload) — latest entry is the recovery point
+        self._checkpoints: list[tuple[int, bytes]] = []
+        self._pending = sorted(plan.crashes, key=lambda c: c.superstep)
+        self._rng = random.Random(plan.seed)
+        # Confined recovery replays a partition from what the healthy side
+        # already knows: the messages delivered each superstep and the
+        # master's broadcast map each superstep (keyed by superstep number,
+        # pruned back to the latest checkpoint).
+        self._outbox_log: dict[int, dict[int, list]] = {}
+        self._broadcast_log: dict[int, dict] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, engine: "PregelEngine") -> None:
+        if self._engine is not None:
+            raise RuntimeError("a FaultTolerance manager drives exactly one run")
+        for crash in self._pending:
+            if not 0 <= crash.worker < engine.num_workers:
+                raise ValueError(
+                    f"fault schedules worker {crash.worker} but the engine "
+                    f"has {engine.num_workers} workers"
+                )
+        self._engine = engine
+
+    def register(self, program: Checkpointable) -> None:
+        """Add program-owned state to every future checkpoint."""
+        self._programs.append(program)
+
+    # -- engine hooks ----------------------------------------------------
+
+    def on_superstep_start(self) -> None:
+        """Runs first thing each superstep: checkpoint if due, then inject.
+
+        Checkpoint-before-inject means a crash at a checkpointed superstep
+        loses nothing — the snapshot reached durable storage before the
+        worker died, exactly the barrier protocol Pregel describes.
+        """
+        engine = self._engine
+        step = engine.superstep
+        every = self.plan.checkpoint_every
+        due = (every > 0 and step % every == 0) or (step == 0 and self._pending)
+        if due:
+            self._take_checkpoint()
+        # Re-read the superstep each time: a rollback rewinds it, and any
+        # remaining events at the original superstep must then wait for the
+        # replay to reach them again.
+        while self._pending and self._pending[0].superstep == engine.superstep:
+            self._recover(self._pending.pop(0))
+
+    def on_master_done(self) -> None:
+        """Log the broadcast map vertices will see this superstep (confined)."""
+        if self.plan.recovery == "confined":
+            engine = self._engine
+            self._broadcast_log[engine.superstep] = dict(engine.globals.broadcast)
+
+    def on_superstep_end(self) -> None:
+        """Log the superstep's outgoing messages (confined recovery replay).
+
+        The outbox dict is retained by reference: after the delivery swap the
+        engine only reads it, so the log sees exactly what superstep+1
+        delivered.  A real cluster keeps the same log on the healthy workers.
+        """
+        if self.plan.recovery == "confined":
+            engine = self._engine
+            self._outbox_log[engine.superstep] = engine._outbox
+
+    def account_delivery(self) -> None:
+        """Meter transient delivery failures of one cross-worker message."""
+        rate = self.plan.message_loss_rate
+        if rate <= 0.0:
+            return
+        metrics = self._engine.metrics
+        attempt = 1
+        while attempt <= self.plan.max_retries and self._rng.random() < rate:
+            metrics.messages_retried += 1
+            metrics.retry_backoff_units += 1 << (attempt - 1)
+            attempt += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _take_checkpoint(self) -> None:
+        engine = self._engine
+        payload = {
+            "engine": engine.checkpoint_state(),
+            "programs": [p.checkpoint_state() for p in self._programs],
+        }
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._checkpoints.append((engine.superstep, blob))
+        engine.metrics.checkpoints_taken += 1
+        engine.metrics.checkpoint_bytes += len(blob)
+        # Logs before the new recovery point can never be replayed again.
+        horizon = engine.superstep - 1
+        for log in (self._outbox_log, self._broadcast_log):
+            for key in [k for k in log if k < horizon]:
+                del log[key]
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self, crash: CrashEvent) -> None:
+        engine = self._engine
+        if not self._checkpoints:
+            raise RuntimeError(
+                f"worker {crash.worker} crashed at superstep {crash.superstep} "
+                "with no checkpoint to recover from"
+            )
+        metrics = engine.metrics
+        metrics.faults_injected += 1
+        ckpt_step, blob = self._checkpoints[-1]
+        lost = engine.superstep - ckpt_step
+        metrics.lost_supersteps += lost
+        payload = pickle.loads(blob)
+        if self.plan.recovery == "rollback":
+            engine.restore_state(payload["engine"])
+            for program, state in zip(self._programs, payload["programs"]):
+                program.restore_state(state)
+            # Every partition re-executes the lost supersteps.
+            metrics.recovery_replay_work += lost * engine.graph.num_nodes
+        else:
+            self._confined_recover(crash.worker, ckpt_step, payload)
+
+    def _confined_recover(self, worker: int, ckpt_step: int, payload: dict) -> None:
+        """Recompute only the failed partition, feeding it logged traffic.
+
+        Healthy partitions keep their (current) state; the metrics ledger —
+        which lives on the master — is never rolled back.  The failed
+        worker's vertices are restored to the checkpoint slice and stepped
+        forward through the lost supersteps with:
+
+        * inboxes rebuilt from the outbox logs (checkpointed in-flight
+          messages for the first replayed superstep);
+        * the broadcast map each superstep swapped to its logged value;
+        * sends and global puts suppressed — their effects already reached
+          the healthy side during the original execution (and the failed
+          partition's own regenerated sends are, by determinism, exactly the
+          logged ones it is being fed).
+        """
+        engine = self._engine
+        worker_of = engine._worker_of
+        vids = [v for v in range(engine.graph.num_nodes) if worker_of[v] == worker]
+        engine.restore_state(payload["engine"], vertices=vids)
+        for program, state in zip(self._programs, payload["programs"]):
+            program.restore_state(state, vertices=vids)
+
+        crash_step = engine.superstep
+        ckpt_outbox = payload["engine"]["outbox"]
+        voted = engine._voted
+        compute = engine._vertex_compute
+        saved_broadcast = dict(engine.globals.broadcast)
+        broadcast = engine.globals.broadcast
+        work = 0
+        engine._ft_replaying = True
+        try:
+            for step in range(ckpt_step, crash_step):
+                # Messages delivered at `step` were sent at `step - 1`; the
+                # checkpoint carries the in-flight set for its own superstep.
+                sent = ckpt_outbox if step == ckpt_step else self._outbox_log.get(step - 1, {})
+                inbox = {
+                    dst: msgs for dst, msgs in sent.items() if worker_of[dst] == worker
+                }
+                engine.superstep = step
+                broadcast.clear()
+                broadcast.update(self._broadcast_log.get(step, {}))
+                if voted is not None:
+                    for dst in inbox:
+                        voted[dst] = 0
+                for vid in vids:
+                    if voted is not None and voted[vid]:
+                        continue
+                    engine._current_vertex = vid
+                    compute(engine, vid, inbox.get(vid, ()))
+                    work += 1
+        finally:
+            engine._ft_replaying = False
+            engine._current_vertex = -1
+            engine.superstep = crash_step
+            broadcast.clear()
+            broadcast.update(saved_broadcast)
+        engine.metrics.recovery_replay_work += work

@@ -24,7 +24,10 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ft import FaultTolerance
 
 from .globalmap import GlobalObjectMap, GlobalOp
 from .graph import Graph
@@ -65,6 +68,21 @@ class RunMetrics:
     #: hub-owning worker — the effect behind the paper's per-graph run times.
     makespan_units: int = 0
     ideal_units: float = 0.0
+    # -- fault tolerance (repro.pregel.ft) ------------------------------
+    #: checkpoints written / their total pickled payload bytes.
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+    #: worker crashes injected and the supersteps of work they destroyed
+    #: (distance from the crash back to the recovery checkpoint).
+    faults_injected: int = 0
+    lost_supersteps: int = 0
+    #: vertex computations re-executed during recovery: rollback recovery
+    #: replays every partition, confined recovery only the failed one.
+    recovery_replay_work: int = 0
+    #: transient-network accounting: cross-worker deliveries that needed a
+    #: retry, and the exponential-backoff units those retries cost.
+    messages_retried: int = 0
+    retry_backoff_units: int = 0
 
     def makespan_inflation(self) -> float:
         """makespan / perfectly-balanced makespan (1.0 = no imbalance)."""
@@ -74,18 +92,42 @@ class RunMetrics:
 
     def load_imbalance(self) -> float:
         """max/mean of per-worker sent messages (1.0 = perfectly balanced)."""
-        active = [c for c in self.worker_sent]
-        if not active or sum(active) == 0:
+        sent = self.worker_sent
+        if not sent or sum(sent) == 0:
             return 1.0
-        mean = sum(active) / len(active)
-        return max(active) / mean
+        mean = sum(sent) / len(sent)
+        return max(sent) / mean
+
+    def parity_key(self) -> dict:
+        """The deterministic quantities a recovered run must reproduce
+        bit-identically against its failure-free twin (everything the paper
+        measures except wall time, which recovery legitimately inflates)."""
+        return {
+            "supersteps": self.supersteps,
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+            "net_messages": self.net_messages,
+            "net_bytes": self.net_bytes,
+            "broadcast_values": self.broadcast_values,
+            "worker_sent": list(self.worker_sent),
+            "halt_reason": self.halt_reason,
+            "result": self.result,
+        }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"supersteps={self.supersteps} messages={self.messages} "
             f"bytes={self.message_bytes} net_bytes={self.net_bytes} "
-            f"wall={self.wall_seconds:.3f}s"
+            f"halt={self.halt_reason or '?'} wall={self.wall_seconds:.3f}s"
         )
+        if self.checkpoints_taken or self.faults_injected:
+            text += (
+                f" | ft: checkpoints={self.checkpoints_taken} "
+                f"ckpt_bytes={self.checkpoint_bytes} faults={self.faults_injected} "
+                f"lost_supersteps={self.lost_supersteps} "
+                f"replay_work={self.recovery_replay_work}"
+            )
+        return text
 
 
 def default_message_size(msg: tuple) -> int:
@@ -114,6 +156,7 @@ class PregelEngine:
         combiners: dict[int, Callable[[tuple, tuple], tuple]] | None = None,
         partitioning: str = "hash",
         track_makespan: bool = False,
+        ft: "FaultTolerance | None" = None,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -158,6 +201,15 @@ class PregelEngine:
         self._track_makespan = track_makespan
         # per-superstep work units per worker (compute + sends + receives)
         self._step_work: list[int] = [0] * self.num_workers
+        # Fault tolerance (repro.pregel.ft): the manager checkpoints at
+        # superstep boundaries, injects scheduled worker crashes, and drives
+        # recovery.  ``_ft_replaying`` marks confined-recovery replay, during
+        # which sends and global puts are suppressed (their effects already
+        # reached the healthy workers in the original execution).
+        self.ft = ft
+        self._ft_replaying = False
+        if ft is not None:
+            ft.attach(self)
 
     # ------------------------------------------------------------------
     # Vertex-side API
@@ -165,10 +217,21 @@ class PregelEngine:
 
     def send(self, dst: int, msg: tuple) -> None:
         """Send ``msg`` to vertex ``dst``, delivered next superstep."""
+        sender = self._current_vertex
+        if sender < 0:
+            raise RuntimeError(
+                "send() called outside the vertex phase: messages must "
+                "originate from a vertex; master code broadcasts through "
+                "put_broadcast() instead"
+            )
+        if self._ft_replaying:
+            # Confined-recovery replay: this message was already delivered
+            # during the original execution of this superstep.
+            return
         combiner = self._combiners.get(msg[0]) if self._combiners else None
         worker_of = self._worker_of
         if combiner is not None:
-            key = (worker_of[self._current_vertex], dst, msg[0])
+            key = (worker_of[sender], dst, msg[0])
             slot = self._combined.get(key)
             if slot is not None:
                 self._combined[key] = combiner(slot, msg)
@@ -180,11 +243,13 @@ class PregelEngine:
         m = self.metrics
         m.messages += 1
         m.message_bytes += size
-        sender_worker = worker_of[self._current_vertex]
+        sender_worker = worker_of[sender]
         m.worker_sent[sender_worker] += 1
         if sender_worker != worker_of[dst]:
             m.net_messages += 1
             m.net_bytes += size
+            if self.ft is not None:
+                self.ft.account_delivery()
         if self._track_makespan:
             self._step_work[sender_worker] += 1
             self._step_work[worker_of[dst]] += 1
@@ -205,6 +270,10 @@ class PregelEngine:
         return self.globals.broadcast[name]
 
     def put_global(self, name: str, op: GlobalOp, value: Any) -> None:
+        if self._ft_replaying:
+            # Confined-recovery replay: this put was already aggregated
+            # during the original execution of this superstep.
+            return
         self.globals.put_reduce(name, op, value)
 
     def vote_to_halt(self, vid: int) -> None:
@@ -238,6 +307,77 @@ class PregelEngine:
         return self.graph.num_nodes
 
     # ------------------------------------------------------------------
+    # Checkpointing (repro.pregel.ft)
+    # ------------------------------------------------------------------
+
+    #: RunMetrics counters included in a checkpoint.  Rollback recovery
+    #: restores them so a replayed run's ledger matches a failure-free one;
+    #: the fault-tolerance counters themselves (checkpoints_taken, …) stay
+    #: outside — they describe the faulted execution, not the computation.
+    _CHECKPOINTED_METRICS = (
+        "messages",
+        "message_bytes",
+        "net_messages",
+        "net_bytes",
+        "broadcast_values",
+        "makespan_units",
+        "ideal_units",
+    )
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot the engine at a superstep boundary (start of superstep,
+        before ``master.compute()``): in-flight messages, voted bits, global
+        objects, RNG state, and the metrics ledger.  The returned payload is
+        plain picklable data; the fault-tolerance manager serializes it."""
+        metrics = self.metrics
+        state = {
+            "superstep": self.superstep,
+            "outbox": {dst: list(msgs) for dst, msgs in self._outbox.items()},
+            "voted": bytes(self._voted) if self._voted is not None else None,
+            "rng": self.rng.getstate(),
+            "result": self.result,
+            "halt": self._halt,
+            "broadcast": dict(self.globals.broadcast),
+            "aggregated": dict(self.globals.aggregated),
+            "metrics": {name: getattr(metrics, name) for name in self._CHECKPOINTED_METRICS},
+            "per_superstep_messages": list(metrics.per_superstep_messages),
+            "worker_sent": list(metrics.worker_sent),
+        }
+        return state
+
+    def restore_state(self, state: dict, vertices: list[int] | None = None) -> None:
+        """Restore a checkpoint payload.
+
+        ``vertices`` selects confined recovery: only the voted bits of the
+        failed partition are restored (its in-flight inbox is rebuilt from
+        logs by the manager, and the globals/metrics ledger lives on the
+        master, which did not fail).  ``None`` is a full rollback: every
+        engine structure — including the metrics counters — rewinds to the
+        boundary, and live aliases (the broadcast dict generated code closes
+        over, the voted bytearray) are mutated in place."""
+        if vertices is not None:
+            if self._voted is not None and state["voted"] is not None:
+                saved = state["voted"]
+                for v in vertices:
+                    self._voted[v] = saved[v]
+            return
+        self.superstep = state["superstep"]
+        self._outbox = {dst: list(msgs) for dst, msgs in state["outbox"].items()}
+        if self._voted is not None and state["voted"] is not None:
+            self._voted[:] = state["voted"]
+        self.rng.setstate(state["rng"])
+        self.result = state["result"]
+        self._halt = state["halt"]
+        self.globals.broadcast.clear()
+        self.globals.broadcast.update(state["broadcast"])
+        self.globals.aggregated = dict(state["aggregated"])
+        metrics = self.metrics
+        for name, value in state["metrics"].items():
+            setattr(metrics, name, value)
+        metrics.per_superstep_messages[:] = state["per_superstep_messages"]
+        metrics.worker_sent[:] = state["worker_sent"]
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
@@ -245,14 +385,22 @@ class PregelEngine:
         start = time.perf_counter()
         graph = self.graph
         voted = self._voted
+        ft = self.ft
         halt_reason = "max_supersteps"
         while self.superstep < self._max_supersteps:
+            # Fault-tolerance boundary: checkpoint if due, then inject any
+            # scheduled crash (recovery may rewind ``self.superstep``).
+            if ft is not None:
+                ft.on_superstep_start()
+
             # Master phase: sees globals aggregated from the previous superstep.
             if self._master_compute is not None:
                 self._master_compute(self)
                 if self._halt:
                     halt_reason = "master_halt"
                     break
+            if ft is not None:
+                ft.on_master_done()
 
             # Deliver messages sent last superstep.
             self._inbox, self._outbox = self._outbox, {}
@@ -284,6 +432,7 @@ class PregelEngine:
                     if track:
                         step_work[worker_of[vid]] += 1
                     compute(self, vid, inbox.get(vid, _NO_MESSAGES))
+            self._current_vertex = -1  # leaving the vertex phase
             if self._record_per_superstep:
                 self.metrics.per_superstep_messages.append(self.metrics.messages - before)
             if track:
@@ -297,6 +446,8 @@ class PregelEngine:
                     self._enqueue(dst, msg)
                 self._combined.clear()
 
+            if ft is not None:
+                ft.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
 
