@@ -1,0 +1,129 @@
+"""Scheduler ablation: frontier-aware superstep scheduling vs the dense scan.
+
+Two studies, one report:
+
+1. **BFS sweep** — manual BFS (the canonical frontier workload) on stock
+   uniform-random graphs of growing size at a fixed sparse average degree
+   (the high-diameter regime GraphIt's direction switching targets), plus
+   the three Table 1 registry graphs for contrast.  On sparse graphs the
+   dense scan pays ``diameter x num_nodes`` idle visits while the frontier
+   is a sliver; on the dense, small-diameter registry graphs message volume
+   dominates and the two schedulers are expected to tie — the sweep records
+   both regimes honestly.  The acceptance bar: frontier scheduling is at
+   least 2x faster on BFS over the largest stock random graph, bit-identical
+   outputs and metrics ledger included.
+
+2. **Parity matrix** — the correctness half of the claim: every algorithm,
+   generated and manual, plus one fault-injected recovery run per strategy,
+   produces an identical ``parity_key()`` (and outputs) under both
+   schedulers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import (
+    bfs_scheduler_sweep,
+    deep_bfs_root,
+    render_table,
+    scheduler_parity,
+)
+from repro.graphgen import uniform_random
+from repro.graphgen.registry import TABLE1, load_graph
+
+from conftest import emit_report
+
+#: sparse average degree for the random-graph sweep: just past the
+#: percolation threshold, where the giant component is deep (high diameter)
+#: and the per-superstep frontier is thin
+SWEEP_DEGREE = 1.2
+#: sweep sizes as multiples of the base 40k-node graph at scale 1.0
+SWEEP_FRACTIONS = (0.25, 0.5, 1.0)
+SPEEDUP_FLOOR = 2.0
+
+
+def _sweep_graphs(scale: float):
+    graphs = []
+    for key in TABLE1:
+        g = load_graph(key, scale)
+        graphs.append((key, g, deep_bfs_root(g)))
+    for fraction in SWEEP_FRACTIONS:
+        n = max(1000, int(40_000 * scale * fraction))
+        g = uniform_random(n, int(n * SWEEP_DEGREE), seed=1)
+        graphs.append((f"uniform-{n}", g, deep_bfs_root(g)))
+    return graphs
+
+
+def test_scheduler_report(benchmark, scale, report_dir):
+    benchmark.pedantic(lambda: _scheduler_report(scale, report_dir), rounds=1, iterations=1)
+
+
+def _scheduler_report(scale, report_dir):
+    start = time.perf_counter()
+    rows = bfs_scheduler_sweep(_sweep_graphs(scale), repeats=3)
+    parity_rows = scheduler_parity(scale=max(0.125, scale / 4))
+    wall = time.perf_counter() - start
+
+    assert all(r.identical for r in rows), [r.graph for r in rows if not r.identical]
+    assert all(r.identical for r in parity_rows), [
+        (r.algorithm, r.variant, r.recovery) for r in parity_rows if not r.identical
+    ]
+    # the headline number: frontier scheduling on the largest stock random
+    # graph (the last sweep entry) beats the dense scan by >= 2x
+    largest = rows[-1]
+    assert largest.speedup >= SPEEDUP_FLOOR, (
+        f"frontier speedup on {largest.graph} is {largest.speedup:.2f}x "
+        f"(needs >= {SPEEDUP_FLOOR}x)"
+    )
+
+    sweep_table = render_table(
+        ["graph", "nodes", "edges", "supersteps", "messages", "reached",
+         "dense", "frontier", "speedup", "bit-identical"],
+        [
+            [
+                r.graph,
+                r.num_nodes,
+                r.num_edges,
+                r.supersteps,
+                r.messages,
+                r.reached,
+                f"{r.dense_seconds * 1000:.1f}ms",
+                f"{r.frontier_seconds * 1000:.1f}ms",
+                f"{r.speedup:.2f}x",
+                "yes" if r.identical else "NO",
+            ]
+            for r in rows
+        ],
+    )
+    parity_table = render_table(
+        ["algorithm", "variant", "graph", "fault recovery", "parity"],
+        [
+            [
+                r.algorithm,
+                r.variant,
+                r.graph,
+                r.recovery or "-",
+                "identical" if r.identical else "DIVERGED",
+            ]
+            for r in parity_rows
+        ],
+    )
+
+    emit_report(
+        report_dir,
+        "scheduler",
+        "Superstep scheduling: frontier (sparse active set, batched routing)\n"
+        f"vs dense scan — manual BFS, best of 3, 4 workers; uniform-* are\n"
+        f"stock uniform-random graphs at average degree {SWEEP_DEGREE} (sparse,\n"
+        f"high-diameter regime); sweep wall time {wall:.2f}s\n"
+        + sweep_table
+        + "\n\nOn sparse high-diameter graphs the dense scan pays\n"
+        "diameter x num_nodes idle vertex visits while the frontier is a\n"
+        "handful of vertices per superstep; on the dense, small-diameter\n"
+        "registry graphs message volume dominates and the schedulers tie.\n"
+        "Every run above is bit-identical across schedulers (outputs and\n"
+        "the full metered ledger).\n\n"
+        "Scheduler parity matrix (dense vs frontier, parity_key + outputs):\n"
+        + parity_table,
+    )

@@ -9,12 +9,15 @@ implementation, which is the paper's headline result.
 
 from .avg_teen import ManualAvgTeen
 from .base import ManualProgram
+from .bfs import ManualBFS
 from .bipartite import ManualBipartiteMatching
 from .conductance import ManualConductance
 from .pagerank import ManualPageRank
 from .sssp import ManualSSSP
 
-#: algorithm key -> manual implementation (no entry for bc_approx, see above)
+#: algorithm key -> manual implementation (no entry for bc_approx, see above).
+#: ManualBFS is deliberately not listed: it is a scheduler-benchmark workload,
+#: not one of the paper's five Figure 6 baselines.
 MANUAL_PROGRAMS: dict[str, ManualProgram] = {
     p.name: p
     for p in (
@@ -29,6 +32,7 @@ MANUAL_PROGRAMS: dict[str, ManualProgram] = {
 __all__ = [
     "MANUAL_PROGRAMS",
     "ManualAvgTeen",
+    "ManualBFS",
     "ManualBipartiteMatching",
     "ManualConductance",
     "ManualPageRank",

@@ -5,11 +5,17 @@ from .harness import (
     FaultAblationRow,
     Measurement,
     PairResult,
+    SchedulerParityRow,
+    SchedulerSweepRow,
     bc_experiments,
+    bfs_scheduler_sweep,
+    deep_bfs_root,
     default_args,
     fault_ablation,
     figure6_experiments,
+    max_out_degree_root,
     run_pair,
+    scheduler_parity,
 )
 from .loc import PAPER_TABLE2, LocRow, count_loc, table2_rows
 from .tables import render_check_matrix, render_table
@@ -21,13 +27,19 @@ __all__ = [
     "PAPER_TABLE2",
     "PairResult",
     "LocRow",
+    "SchedulerParityRow",
+    "SchedulerSweepRow",
     "bc_experiments",
+    "bfs_scheduler_sweep",
     "count_loc",
+    "deep_bfs_root",
     "default_args",
     "fault_ablation",
     "figure6_experiments",
+    "max_out_degree_root",
     "render_check_matrix",
     "render_table",
     "run_pair",
+    "scheduler_parity",
     "table2_rows",
 ]

@@ -41,6 +41,8 @@ def default_args(algorithm: str, graph: Graph) -> dict:
         return {"num": 1}
     if algorithm == "sssp":
         return {"root": 0}
+    if algorithm == "bfs":
+        return {"root": 0}
     if algorithm == "bc_approx":
         return {"K": 4}
     return {}
@@ -207,6 +209,200 @@ def fault_ablation(
             )
             rows.append(FaultAblationRow(every, recovery, run.metrics, identical))
     return baseline.metrics, rows
+
+
+@dataclass
+class SchedulerParityRow:
+    """One cell of the scheduler parity matrix: a frontier-scheduled run
+    compared bit-for-bit against its dense-scheduled twin."""
+
+    algorithm: str
+    variant: str  # "generated" | "manual"
+    graph: str
+    recovery: str | None  # fault-injected recovery strategy, None = fault-free
+    identical: bool
+
+
+def scheduler_parity(
+    *,
+    scale: float = 0.25,
+    seed: int = 1,
+    num_workers: int = 4,
+    crash: CrashEvent = CrashEvent(worker=1, superstep=3),
+    checkpoint_every: int = 2,
+) -> list[SchedulerParityRow]:
+    """The tentpole correctness claim, as a matrix: frontier scheduling is
+    bit-identical (``parity_key()`` and outputs) to the dense scan for every
+    algorithm, generated and manual, plus one fault-injected recovery run per
+    strategy on a voting workload (manual SSSP — the program whose frontier
+    state a checkpoint must actually carry)."""
+    rows: list[SchedulerParityRow] = []
+    graphs: dict[str, Graph] = {}
+
+    def _graph(key: str) -> Graph:
+        if key not in graphs:
+            graphs[key] = load_graph(key, scale, seed)
+        return graphs[key]
+
+    def _compare(run_fn, key: str) -> bool:
+        dense = run_fn(_graph(key), scheduling="dense")
+        frontier = run_fn(_graph(key), scheduling="frontier")
+        return (
+            frontier.outputs == dense.outputs
+            and frontier.metrics.parity_key() == dense.metrics.parity_key()
+        )
+
+    for algorithm in ALGORITHMS:
+        key = applicable_graphs(algorithm)[0]
+        compiled = compile_algorithm(algorithm, emit_java=False)
+        args = default_args(algorithm, _graph(key))
+
+        def _generated(graph, **opts):
+            return compiled.program.run(graph, args, num_workers=num_workers, **opts)
+
+        rows.append(
+            SchedulerParityRow(
+                algorithm, "generated", key, None, _compare(_generated, key)
+            )
+        )
+        baseline = MANUAL_PROGRAMS.get(algorithm)
+        if baseline is not None:
+
+            def _manual(graph, **opts):
+                return baseline.run(graph, args, num_workers=num_workers, **opts)
+
+            rows.append(
+                SchedulerParityRow(
+                    algorithm, "manual", key, None, _compare(_manual, key)
+                )
+            )
+
+    # Fault-injected runs: a frontier-scheduled run that crashes and recovers
+    # must still match the dense fault-free baseline bit-for-bit.
+    key = applicable_graphs("sssp")[0]
+    sssp = MANUAL_PROGRAMS["sssp"]
+    args = default_args("sssp", _graph(key))
+    dense = sssp.run(_graph(key), args, num_workers=num_workers, scheduling="dense")
+    for recovery in ("rollback", "confined"):
+        plan = FaultPlan(
+            checkpoint_every=checkpoint_every, crashes=(crash,), recovery=recovery
+        )
+        faulted = sssp.run(
+            _graph(key),
+            args,
+            num_workers=num_workers,
+            scheduling="frontier",
+            ft=FaultTolerance(plan),
+        )
+        identical = (
+            faulted.outputs == dense.outputs
+            and faulted.metrics.parity_key() == dense.metrics.parity_key()
+        )
+        rows.append(SchedulerParityRow("sssp", "manual", key, recovery, identical))
+    return rows
+
+
+@dataclass
+class SchedulerSweepRow:
+    """One graph of the dense-vs-frontier BFS wall-clock sweep."""
+
+    graph: str
+    num_nodes: int
+    num_edges: int
+    supersteps: int
+    messages: int
+    reached: int
+    dense_seconds: float
+    frontier_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_seconds / self.frontier_seconds if self.frontier_seconds else 0.0
+
+
+def max_out_degree_root(graph: Graph) -> int:
+    """A deterministic BFS root that is never a sink: the vertex with the
+    most out-edges (ties to the lowest id)."""
+    off = graph.out_offsets
+    return max(range(graph.num_nodes), key=lambda v: (off[v + 1] - off[v], -v))
+
+
+def deep_bfs_root(graph: Graph, candidates: int = 16) -> int:
+    """A deterministic BFS root inside the graph's largest reachable region.
+
+    On sparse directed random graphs a high out-degree vertex can still sit
+    in a tiny component, which would make a scheduler benchmark traverse
+    nothing.  Probe the ``candidates`` highest-out-degree vertices with a
+    plain sequential BFS and pick the one reaching the most vertices
+    (deepest traversal breaks ties, then lowest id)."""
+    off, tgt = graph.out_offsets, graph.out_targets
+    n = graph.num_nodes
+    by_degree = sorted(range(n), key=lambda v: (off[v + 1] - off[v], -v), reverse=True)
+    best = (-1, -1, 0)  # (reached, depth, -root)
+    for root in by_degree[: max(1, candidates)]:
+        seen = bytearray(n)
+        seen[root] = 1
+        frontier = [root]
+        depth = reached = 0
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in tgt[off[v] : off[v + 1]]:
+                    if not seen[w]:
+                        seen[w] = 1
+                        nxt.append(w)
+            reached += len(frontier)
+            frontier = nxt
+            depth += 1
+        key = (reached, depth, -root)
+        if key > best:
+            best = key
+    return -best[2]
+
+
+def bfs_scheduler_sweep(
+    graphs: list[tuple[str, Graph, int]],
+    *,
+    repeats: int = 3,
+    num_workers: int = 4,
+) -> list[SchedulerSweepRow]:
+    """Dense vs frontier wall clock for manual BFS on each (name, graph,
+    root), best of ``repeats``, verifying output + parity_key equality."""
+    from ..algorithms.manual import ManualBFS
+
+    bfs = ManualBFS()
+    rows: list[SchedulerSweepRow] = []
+    for name, graph, root in graphs:
+        runs = {}
+        for scheduling in ("dense", "frontier"):
+            best = None
+            for _ in range(max(1, repeats)):
+                run = bfs.run(
+                    graph, {"root": root}, num_workers=num_workers, scheduling=scheduling
+                )
+                if best is None or run.metrics.wall_seconds < best.metrics.wall_seconds:
+                    best = run
+            runs[scheduling] = best
+        dense, frontier = runs["dense"], runs["frontier"]
+        identical = (
+            frontier.outputs == dense.outputs
+            and frontier.metrics.parity_key() == dense.metrics.parity_key()
+        )
+        rows.append(
+            SchedulerSweepRow(
+                graph=name,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                supersteps=frontier.metrics.supersteps,
+                messages=frontier.metrics.messages,
+                reached=sum(1 for lvl in frontier.outputs["level"] if lvl >= 0),
+                dense_seconds=dense.metrics.wall_seconds,
+                frontier_seconds=frontier.metrics.wall_seconds,
+                identical=identical,
+            )
+        )
+    return rows
 
 
 def bc_experiments(scale: float = 1.0, *, repeats: int = 1, seed: int = 1) -> list[PairResult]:

@@ -107,6 +107,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         args,
         num_workers=ns.workers,
         seed=ns.seed,
+        scheduling=ns.scheduling,
         ft=_build_fault_tolerance(ns),
     )
     print(f"graph: {graph}")
@@ -212,6 +213,14 @@ def main(argv: list[str] | None = None) -> int:
             "--arg", action="append", default=[], help="procedure argument name=value"
         )
         if name == "run":
+            p.add_argument(
+                "--scheduling",
+                choices=("frontier", "dense"),
+                default="frontier",
+                help="superstep scheduling: 'frontier' iterates only the "
+                "active set when it is sparse (batched message routing); "
+                "'dense' always scans every vertex",
+            )
             p.add_argument(
                 "--checkpoint-every",
                 type=int,

@@ -547,9 +547,26 @@ class CompiledProgram:
         args: dict | None = None,
         *,
         use_combiners: bool = False,
+        scheduling: str = "frontier",
+        frontier_threshold: float = 0.25,
         **engine_opts,
     ) -> tuple[PregelEngine, dict[str, list], GeneratedMaster]:
+        """Instantiate a PregelEngine for this program.
+
+        ``scheduling`` selects the engine's superstep scheduler: ``"frontier"``
+        (default) tracks the active set and iterates only it when sparse, with
+        batched per-worker message routing; ``"dense"`` is the classic scan of
+        every vertex.  Both are bit-identical on outputs and on every metered
+        quantity (``RunMetrics.parity_key()``); generated programs never call
+        ``vote_to_halt`` (§5.2), so they only benefit from frontier scheduling
+        through the batched routing path.  ``frontier_threshold`` is the
+        active-set density above which frontier mode falls back to the dense
+        scan (GraphIt-style direction switch).  Remaining ``engine_opts`` pass
+        through to :class:`PregelEngine`.
+        """
         args = dict(args or {})
+        engine_opts["scheduling"] = scheduling
+        engine_opts["frontier_threshold"] = frontier_threshold
         if use_combiners and "combiners" not in engine_opts:
             from ..translate.combiner import combiner_functions, infer_combiners
 

@@ -227,13 +227,16 @@ class FaultTolerance:
     def on_superstep_end(self) -> None:
         """Log the superstep's outgoing messages (confined recovery replay).
 
-        The outbox dict is retained by reference: after the delivery swap the
-        engine only reads it, so the log sees exactly what superstep+1
-        delivered.  A real cluster keeps the same log on the healthy workers.
+        ``outbox_view()`` gives the in-flight ``{dst: msgs}`` map under either
+        scheduler (dense mode returns the live dict by reference; frontier
+        mode merges its per-worker outbox batches).  After the delivery swap
+        the engine only reads the message lists, so the log sees exactly what
+        superstep+1 delivered.  A real cluster keeps the same log on the
+        healthy workers.
         """
         if self.plan.recovery == "confined":
             engine = self._engine
-            self._outbox_log[engine.superstep] = engine._outbox
+            self._outbox_log[engine.superstep] = engine.outbox_view()
 
     def account_delivery(self) -> None:
         """Meter transient delivery failures of one cross-worker message."""

@@ -17,6 +17,33 @@ evaluates on):
 The engine also meters what the paper measures: the number of timesteps, the
 number of messages, and the network I/O they cause under a hash partitioning
 of vertices across ``num_workers`` simulated machines.
+
+Superstep scheduling
+--------------------
+
+Message-driven programs (BFS-like traversals, converging SSSP) leave most
+vertices idle after the first few supersteps, yet a naive BSP loop still
+visits every vertex every superstep — the dominant cost on large graphs.
+The engine therefore supports two scheduling modes (GraphIt-style
+sparse/dense direction switching, applied to the vertex iteration):
+
+* ``scheduling="frontier"`` (the default) — track the *frontier* (vertices
+  with incoming messages ∪ vertices that have not voted to halt) explicitly
+  and iterate only it while it is sparse; when the frontier exceeds
+  ``frontier_threshold × num_nodes`` the engine falls back to the dense
+  scan, whose per-vertex cost is lower.  Messages are staged in per-worker
+  batched outboxes (one per *destination* worker, as a real Pregel's
+  outgoing buffers) and routed once at the barrier into a dense inbox
+  index, replacing the per-send dict lookup.  Routing by destination worker
+  preserves each receiver's message order exactly, so results and every
+  metered quantity are bit-identical to the dense scan.
+* ``scheduling="dense"`` — the classic loop over every vertex (skipping
+  voted ones under ``use_voting``); the opt-out baseline the frontier mode
+  is benchmarked and parity-tested against.
+
+Engines without voting have no idle-vertex information (the compiler's
+generated programs deliberately do not vote, §5.2), so the frontier mode
+runs their vertex phase densely — batched routing still applies.
 """
 
 from __future__ import annotations
@@ -57,9 +84,12 @@ class RunMetrics:
     result: Any = None
     halt_reason: str = ""
     per_superstep_messages: list[int] = field(default_factory=list)
-    #: messages sent per worker over the whole run (hash partitioning); the
+    #: send() calls per worker over the whole run (hash partitioning); the
     #: spread measures the load imbalance skewed graphs inflict on a real
-    #: cluster, where superstep time = the slowest worker's time.
+    #: cluster, where superstep time = the slowest worker's time.  Unlike
+    #: ``messages`` (delivered traffic), this counts every send *including*
+    #: those folded into a combiner slot — the sender still does the combine
+    #: work — so combiner runs report their true per-worker send load.
     worker_sent: list[int] = field(default_factory=list)
     #: simulated cluster time (with ``track_makespan=True``): per superstep,
     #: the *maximum* over workers of (vertices computed + messages sent +
@@ -157,6 +187,8 @@ class PregelEngine:
         partitioning: str = "hash",
         track_makespan: bool = False,
         ft: "FaultTolerance | None" = None,
+        scheduling: str = "frontier",
+        frontier_threshold: float = 0.25,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -178,6 +210,34 @@ class PregelEngine:
         self._inbox: dict[int, list] = {}
         self._current_vertex = -1
         self._voted = bytearray(graph.num_nodes) if use_voting else None
+        # Superstep scheduling (see module docstring).  Frontier mode stages
+        # sends in per-destination-worker batches and routes them once at
+        # the barrier; the frontier itself is maintained incrementally (the
+        # survivors of the last frontier that did not vote, plus the new
+        # inbox keys) with a dirty flag forcing a full voted-bitmap scan
+        # after anything that invalidates it (start of run, dense fallback,
+        # checkpoint restore).
+        if scheduling not in ("frontier", "dense"):
+            raise ValueError(
+                f"unknown scheduling '{scheduling}' (expected 'frontier' or 'dense')"
+            )
+        if not 0.0 < frontier_threshold <= 1.0:
+            raise ValueError("frontier_threshold must be in (0, 1]")
+        self.scheduling = scheduling
+        self._frontier_threshold = frontier_threshold
+        self._batched = scheduling == "frontier"
+        self._frontier: list[int] = []
+        self._frontier_dirty = True
+        if self._batched:
+            # Per-destination-worker outboxes (a receiver's messages all live
+            # in its owner's batch, so per-receiver order is the global send
+            # order), double-buffered so delivery routing reuses the drained
+            # dicts instead of reallocating every superstep.
+            self._out_parts: list[dict[int, list]] = [{} for _ in range(self.num_workers)]
+            self._in_parts: list[dict[int, list]] = [{} for _ in range(self.num_workers)]
+            self._inbox_slots: list = [_NO_MESSAGES] * graph.num_nodes
+            self._touched: list[int] = []
+            self._enqueue = self._enqueue_batch  # type: ignore[method-assign]
         # Sender-side message combining (the Pregel paper's combiners): one
         # slot per (sender worker, destination, tag), folded on every send.
         self._combiners = combiners or {}
@@ -228,22 +288,30 @@ class PregelEngine:
             # Confined-recovery replay: this message was already delivered
             # during the original execution of this superstep.
             return
-        combiner = self._combiners.get(msg[0]) if self._combiners else None
         worker_of = self._worker_of
+        sender_worker = worker_of[sender]
+        m = self.metrics
+        combiner = self._combiners.get(msg[0]) if self._combiners else None
         if combiner is not None:
-            key = (worker_of[sender], dst, msg[0])
+            # Delivered traffic (messages / bytes / net) is metered at flush
+            # time, on the *folded* payload — folds may change the payload,
+            # so metering the first message here would drift from what is
+            # actually delivered at the barrier.  The sender's combine work
+            # is counted per send: every fold costs the sending worker.
+            m.worker_sent[sender_worker] += 1
+            if self._track_makespan:
+                self._step_work[sender_worker] += 1
+            key = (sender_worker, dst, msg[0])
             slot = self._combined.get(key)
             if slot is not None:
                 self._combined[key] = combiner(slot, msg)
-                return  # folded into an existing message: no new traffic
-            self._combined[key] = msg
-        else:
-            self._enqueue(dst, msg)
+            else:
+                self._combined[key] = msg
+            return
+        self._enqueue(dst, msg)
         size = self._message_size(msg)
-        m = self.metrics
         m.messages += 1
         m.message_bytes += size
-        sender_worker = worker_of[sender]
         m.worker_sent[sender_worker] += 1
         if sender_worker != worker_of[dst]:
             m.net_messages += 1
@@ -261,6 +329,55 @@ class PregelEngine:
         else:
             bucket.append(msg)
 
+    def _enqueue_batch(self, dst: int, msg: tuple) -> None:
+        # Frontier mode: stage in the destination worker's outbox batch.  A
+        # receiver's messages all land in its owner's batch, so per-receiver
+        # order is the global send order, as with _enqueue.
+        part = self._out_parts[self._worker_of[dst]]
+        bucket = part.get(dst)
+        if bucket is None:
+            part[dst] = [msg]
+        else:
+            bucket.append(msg)
+
+    def outbox_view(self) -> dict[int, list]:
+        """The in-flight messages as one ``{dst: msgs}`` map.
+
+        Dense mode returns the live outbox dict; frontier mode merges the
+        per-worker outbox batches (each destination appears in exactly one).
+        The fault-tolerance manager checkpoints and logs through this view,
+        so both schedulers share one checkpoint/log format.
+        """
+        if not self._batched:
+            return self._outbox
+        merged: dict[int, list] = {}
+        for part in self._out_parts:
+            merged.update(part)
+        return merged
+
+    def _flush_combined(self) -> None:
+        """Deliver the combiner slots at the barrier, metering the folded
+        payloads — the messages that actually travel."""
+        worker_of = self._worker_of
+        m = self.metrics
+        enqueue = self._enqueue
+        size_of = self._message_size
+        track = self._track_makespan
+        ft = self.ft
+        for (sender_worker, dst, _tag), msg in self._combined.items():
+            enqueue(dst, msg)
+            size = size_of(msg)
+            m.messages += 1
+            m.message_bytes += size
+            if sender_worker != worker_of[dst]:
+                m.net_messages += 1
+                m.net_bytes += size
+                if ft is not None:
+                    ft.account_delivery()
+            if track:
+                self._step_work[worker_of[dst]] += 1
+        self._combined.clear()
+
     def send_to_out_nbrs(self, vid: int, msg: tuple) -> None:
         graph = self.graph
         for dst in graph.out_targets[graph.out_offsets[vid] : graph.out_offsets[vid + 1]]:
@@ -277,8 +394,15 @@ class PregelEngine:
         self.globals.put_reduce(name, op, value)
 
     def vote_to_halt(self, vid: int) -> None:
-        if self._voted is not None:
-            self._voted[vid] = 1
+        if self._voted is None:
+            # Silently ignoring the vote would mask non-termination as
+            # halt_reason="max_supersteps"; fail loudly instead.
+            raise RuntimeError(
+                "vote_to_halt() called on an engine constructed with "
+                "use_voting=False: pass use_voting=True to PregelEngine, or "
+                "drive termination from the master via halt()"
+            )
+        self._voted[vid] = 1
 
     # ------------------------------------------------------------------
     # Master-side API
@@ -332,7 +456,17 @@ class PregelEngine:
         metrics = self.metrics
         state = {
             "superstep": self.superstep,
-            "outbox": {dst: list(msgs) for dst, msgs in self._outbox.items()},
+            "outbox": {dst: list(msgs) for dst, msgs in self.outbox_view().items()},
+            # Frontier-mode scheduler state: the vertices computed in the
+            # last superstep, from which the next frontier's un-voted half
+            # derives.  None when unknown (dense scheduling, or before the
+            # first sparse superstep) — a restore then recomputes it from
+            # the voted bitmap, which is exact.
+            "frontier": (
+                list(self._frontier)
+                if self._batched and not self._frontier_dirty
+                else None
+            ),
             "voted": bytes(self._voted) if self._voted is not None else None,
             "rng": self.rng.getstate(),
             "result": self.result,
@@ -360,9 +494,26 @@ class PregelEngine:
                 saved = state["voted"]
                 for v in vertices:
                     self._voted[v] = saved[v]
+            # The partition's voted bits just rewound; force the scheduler to
+            # rebuild the frontier from the bitmap at the next delivery.
+            self._frontier_dirty = True
             return
         self.superstep = state["superstep"]
-        self._outbox = {dst: list(msgs) for dst, msgs in state["outbox"].items()}
+        if self._batched:
+            parts = self._out_parts
+            for part in parts:
+                part.clear()
+            worker_of = self._worker_of
+            for dst, msgs in state["outbox"].items():
+                parts[worker_of[dst]][dst] = list(msgs)
+        else:
+            self._outbox = {dst: list(msgs) for dst, msgs in state["outbox"].items()}
+        saved_frontier = state.get("frontier")
+        if self._batched and saved_frontier is not None:
+            self._frontier = list(saved_frontier)
+            self._frontier_dirty = False
+        else:
+            self._frontier_dirty = True
         if self._voted is not None and state["voted"] is not None:
             self._voted[:] = state["voted"]
         self.rng.setstate(state["rng"])
@@ -384,8 +535,11 @@ class PregelEngine:
     def run(self) -> RunMetrics:
         start = time.perf_counter()
         graph = self.graph
+        n = graph.num_nodes
         voted = self._voted
         ft = self.ft
+        batched = self._batched
+        threshold = max(1, int(self._frontier_threshold * n))
         halt_reason = "max_supersteps"
         while self.superstep < self._max_supersteps:
             # Fault-tolerance boundary: checkpoint if due, then inject any
@@ -402,30 +556,108 @@ class PregelEngine:
             if ft is not None:
                 ft.on_master_done()
 
-            # Deliver messages sent last superstep.
-            self._inbox, self._outbox = self._outbox, {}
-            inbox = self._inbox
+            # Deliver messages sent last superstep.  Frontier mode routes the
+            # per-worker outbox batches once, here at the barrier, into the
+            # dense inbox index (one slot per vertex); the drained dicts are
+            # reused as next superstep's outboxes (double buffering).  Dense
+            # mode keeps the classic dict swap.
+            if batched:
+                incoming = self._out_parts
+                self._out_parts = self._in_parts
+                self._in_parts = incoming
+                touched = self._touched
+                touched.clear()
+                slots = self._inbox_slots
+                receiving = touched.append
+                for part in incoming:
+                    if part:
+                        for dst, msgs in part.items():
+                            slots[dst] = msgs
+                            receiving(dst)
+                        part.clear()
+            else:
+                self._inbox, self._outbox = self._outbox, {}
+                inbox = self._inbox
 
+            # Scheduling: build this superstep's frontier (frontier mode
+            # with voting), or just run the voting halt check (dense mode).
+            # ``frontier is None`` means a dense vertex phase.
+            frontier = None
             if voted is not None:
-                for dst in inbox:
-                    voted[dst] = 0
-                if self.superstep > 0 and not inbox and all(voted):
-                    halt_reason = "all_halted"
-                    break
+                if batched:
+                    for dst in touched:
+                        voted[dst] = 0
+                    if self._frontier_dirty:
+                        unvoted = [v for v in range(n) if not voted[v]]
+                    else:
+                        unvoted = [v for v in self._frontier if not voted[v]]
+                    if touched:
+                        active = set(unvoted)
+                        active.update(touched)
+                    else:
+                        active = unvoted  # already deduped and ascending
+                    if self.superstep > 0 and not active:
+                        halt_reason = "all_halted"
+                        break
+                    if len(active) < threshold:
+                        # Sparse superstep: every member is un-voted (message
+                        # receivers were just woken), so the vertex loop needs
+                        # no voted check.  Ascending order matches the dense
+                        # scan, keeping message order — and thus results —
+                        # bit-identical.
+                        frontier = (
+                            sorted(active) if isinstance(active, set) else active
+                        )
+                        self._frontier = frontier
+                        self._frontier_dirty = False
+                    else:
+                        self._frontier_dirty = True
+                else:
+                    for dst in inbox:
+                        voted[dst] = 0
+                    if self.superstep > 0 and not inbox and all(voted):
+                        halt_reason = "all_halted"
+                        break
 
             before = self.metrics.messages
             compute = self._vertex_compute
             track = self._track_makespan
             step_work = self._step_work
             worker_of = self._worker_of
-            if voted is None:
-                for vid in range(graph.num_nodes):
+            if batched:
+                # The dense inbox index was filled at delivery; touched slots
+                # are reset after the phase.
+                slots = self._inbox_slots
+                if frontier is not None:
+                    for vid in frontier:
+                        self._current_vertex = vid
+                        if track:
+                            step_work[worker_of[vid]] += 1
+                        compute(self, vid, slots[vid])
+                elif voted is None:
+                    for vid in range(n):
+                        self._current_vertex = vid
+                        if track:
+                            step_work[worker_of[vid]] += 1
+                        compute(self, vid, slots[vid])
+                else:
+                    for vid in range(n):
+                        if voted[vid]:
+                            continue
+                        self._current_vertex = vid
+                        if track:
+                            step_work[worker_of[vid]] += 1
+                        compute(self, vid, slots[vid])
+                for dst in touched:
+                    slots[dst] = _NO_MESSAGES
+            elif voted is None:
+                for vid in range(n):
                     self._current_vertex = vid
                     if track:
                         step_work[worker_of[vid]] += 1
                     compute(self, vid, inbox.get(vid, _NO_MESSAGES))
             else:
-                for vid in range(graph.num_nodes):
+                for vid in range(n):
                     if voted[vid]:
                         continue
                     self._current_vertex = vid
@@ -433,6 +665,11 @@ class PregelEngine:
                         step_work[worker_of[vid]] += 1
                     compute(self, vid, inbox.get(vid, _NO_MESSAGES))
             self._current_vertex = -1  # leaving the vertex phase
+
+            # Barrier: flush combiner slots (metering the folded payloads),
+            # then account the superstep.
+            if self._combined:
+                self._flush_combined()
             if self._record_per_superstep:
                 self.metrics.per_superstep_messages.append(self.metrics.messages - before)
             if track:
@@ -440,11 +677,6 @@ class PregelEngine:
                 self.metrics.ideal_units += sum(step_work) / self.num_workers
                 for w in range(self.num_workers):
                     step_work[w] = 0
-
-            if self._combined:
-                for (_, dst, _), msg in self._combined.items():
-                    self._enqueue(dst, msg)
-                self._combined.clear()
 
             if ft is not None:
                 ft.on_superstep_end()

@@ -100,6 +100,55 @@ class TestEngineFolding:
         assert got == [(0, 10), (0, 20)]
 
 
+class TestMetering:
+    def test_width_changing_combiner_meters_folded_payload(self):
+        # regression: bytes used to be metered on the *first* send into a
+        # slot; a fold that widens the payload must be metered at flush on
+        # the message that actually travels
+        g = Graph.from_edges(3, [(0, 2), (1, 2)])
+
+        def concat(a, b):
+            return a + b[1:]
+
+        def vertex(ctx, vid, messages):
+            if ctx.superstep == 0 and vid < 2:
+                ctx.send(2, (0, vid))
+
+        def master(ctx):
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        metrics = PregelEngine(
+            g, vertex, master, combiners={0: concat}, num_workers=1
+        ).run()
+        assert metrics.messages == 1
+        # default sizing is 1 tag byte + 8 per payload field: the folded
+        # (0, 0, 1) is 17 bytes, not the 9 of the first send
+        assert metrics.message_bytes == 17
+
+    def test_worker_sent_counts_folded_sends(self):
+        # both sends cost the sending worker even though they fold into one
+        # delivered message; messages/net_messages stay flush-side
+        g = Graph.from_edges(4, [(0, 3), (2, 3)])
+        fns = combiner_functions({0: GlobalOp.SUM})
+
+        def vertex(ctx, vid, messages):
+            # with 2 workers, vertices 0 and 2 share worker 0; dst 3 is on
+            # worker 1, so the folded flush is one cross-worker message
+            if ctx.superstep == 0 and vid in (0, 2):
+                ctx.send(3, (0, 1))
+
+        def master(ctx):
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        metrics = PregelEngine(g, vertex, master, combiners=fns, num_workers=2).run()
+        assert metrics.worker_sent == [2, 0]
+        assert metrics.messages == 1
+        assert metrics.net_messages == 1
+        assert metrics.load_imbalance() == 2.0
+
+
 class TestEndToEnd:
     def test_pagerank_same_results_fewer_messages(self, graph):
         compiled = compile_algorithm("pagerank", emit_java=False)

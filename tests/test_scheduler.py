@@ -1,0 +1,291 @@
+"""Frontier-aware superstep scheduling (engine extension): sparse/dense
+parity on every algorithm, batched message routing, interaction with voting,
+combiners, and fault recovery, and checkpointing of the frontier state."""
+
+import pytest
+
+from repro.algorithms.manual import MANUAL_PROGRAMS, ManualBFS
+from repro.algorithms.sources import ALGORITHMS
+from repro.compiler import compile_algorithm
+from repro.bench.harness import default_args
+from repro.graphgen.registry import applicable_graphs, load_graph
+from repro.pregel import Graph, PregelEngine
+from repro.pregel.ft import CrashEvent, FaultPlan, FaultTolerance
+
+SCALE = 0.125  # 500-node graphs: big enough to cross worker boundaries
+
+
+def line_graph(n: int) -> Graph:
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def bfs_vertex(level: list):
+    def vertex(ctx, vid, messages):
+        if ctx.superstep == 0:
+            if vid == 0:
+                level[vid] = 0
+                ctx.send_to_out_nbrs(vid, (0,))
+        elif messages and level[vid] < 0:
+            level[vid] = ctx.superstep
+            ctx.send_to_out_nbrs(vid, (0,))
+        ctx.vote_to_halt(vid)
+
+    return vertex
+
+
+class TestConstruction:
+    def test_unknown_scheduling_rejected(self):
+        with pytest.raises(ValueError, match="scheduling"):
+            PregelEngine(line_graph(2), lambda *a: None, scheduling="eager")
+
+    def test_threshold_out_of_range_rejected(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="frontier_threshold"):
+                PregelEngine(
+                    line_graph(2), lambda *a: None, frontier_threshold=bad
+                )
+
+    def test_vote_to_halt_without_voting_raises(self):
+        # Silently ignoring the vote used to mask non-termination as
+        # halt_reason="max_supersteps"; the engine now fails loudly.
+        def vertex(ctx, vid, messages):
+            ctx.vote_to_halt(vid)
+
+        engine = PregelEngine(line_graph(2), vertex, use_voting=False)
+        with pytest.raises(RuntimeError, match="use_voting=True"):
+            engine.run()
+
+
+class TestSparseExecution:
+    """BFS on a line graph: the frontier is a single vertex every superstep,
+    the canonical case the sparse path exists for."""
+
+    def _run(self, n: int, **opts):
+        level = [-1] * n
+        engine = PregelEngine(
+            line_graph(n),
+            bfs_vertex(level),
+            use_voting=True,
+            message_size=lambda m: 0,
+            **opts,
+        )
+        return engine, level, engine.run()
+
+    def test_sparse_matches_dense_bit_for_bit(self):
+        _, dense_level, dense = self._run(64, scheduling="dense")
+        engine, level, metrics = self._run(
+            64, scheduling="frontier", frontier_threshold=1.0
+        )
+        assert level == dense_level == [i for i in range(64)]
+        assert metrics.parity_key() == dense.parity_key()
+        assert metrics.halt_reason == "all_halted"
+        # the run ended inside the sparse regime: the frontier is live
+        assert not engine._frontier_dirty
+
+    def test_dense_fallback_above_threshold(self):
+        # threshold so low every superstep falls back to the dense scan;
+        # results must be unchanged
+        _, dense_level, dense = self._run(64, scheduling="dense")
+        engine, level, metrics = self._run(
+            64, scheduling="frontier", frontier_threshold=1e-9
+        )
+        assert level == dense_level
+        assert metrics.parity_key() == dense.parity_key()
+        assert engine._frontier_dirty  # never entered the sparse regime
+
+    def test_outbox_view_merges_per_worker_batches(self):
+        # master runs before delivery, so at superstep 1 it observes the
+        # in-flight messages sent at superstep 0 under either scheduler
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        seen = {}
+
+        def vertex(ctx, vid, messages):
+            if ctx.superstep == 0 and vid == 0:
+                for dst in (1, 2, 3):
+                    ctx.send(dst, (0, dst * 10))
+
+        def master(ctx):
+            if ctx.superstep == 1:
+                seen["view"] = {
+                    dst: list(msgs) for dst, msgs in ctx.outbox_view().items()
+                }
+            if ctx.superstep == 2:
+                ctx.halt()
+
+        PregelEngine(g, vertex, master, num_workers=2, scheduling="frontier").run()
+        assert seen["view"] == {1: [(0, 10)], 2: [(0, 20)], 3: [(0, 30)]}
+
+
+class TestAlgorithmParity:
+    """Frontier scheduling is bit-identical to the dense scan — outputs and
+    the whole metered ledger — for all six algorithms."""
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_generated_parity(self, algorithm):
+        key = applicable_graphs(algorithm)[0]
+        graph = load_graph(key, SCALE)
+        compiled = compile_algorithm(algorithm, emit_java=False)
+        args = default_args(algorithm, graph)
+        dense = compiled.program.run(graph, args, scheduling="dense")
+        frontier = compiled.program.run(graph, args, scheduling="frontier")
+        assert frontier.outputs == dense.outputs
+        assert frontier.metrics.parity_key() == dense.metrics.parity_key()
+
+    @pytest.mark.parametrize("algorithm", sorted(MANUAL_PROGRAMS))
+    def test_manual_parity(self, algorithm):
+        key = applicable_graphs(algorithm)[0]
+        graph = load_graph(key, SCALE)
+        program = MANUAL_PROGRAMS[algorithm]
+        args = default_args(algorithm, graph)
+        dense = program.run(graph, args, scheduling="dense")
+        frontier = program.run(graph, args, scheduling="frontier")
+        assert frontier.outputs == dense.outputs
+        assert frontier.metrics.parity_key() == dense.metrics.parity_key()
+
+    def test_parity_with_combiners(self):
+        graph = load_graph("twitter", SCALE)
+        compiled = compile_algorithm("pagerank", emit_java=False)
+        args = default_args("pagerank", graph)
+        dense = compiled.program.run(graph, args, use_combiners=True, scheduling="dense")
+        frontier = compiled.program.run(
+            graph, args, use_combiners=True, scheduling="frontier"
+        )
+        assert frontier.outputs == dense.outputs
+        assert frontier.metrics.parity_key() == dense.metrics.parity_key()
+
+    def test_parity_with_voting_sparse_supersteps(self):
+        # manual SSSP votes to halt; force the sparse path with a permissive
+        # threshold so both regimes are actually exercised
+        graph = load_graph("twitter", SCALE)
+        args = default_args("sssp", graph)
+        sssp = MANUAL_PROGRAMS["sssp"]
+        dense = sssp.run(graph, args, scheduling="dense")
+        frontier = sssp.run(graph, args, scheduling="frontier", frontier_threshold=1.0)
+        assert frontier.outputs == dense.outputs
+        assert frontier.metrics.parity_key() == dense.metrics.parity_key()
+
+
+class TestFaultRecovery:
+    """Frontier state must survive checkpoint/restore: a frontier-scheduled
+    run that crashes and recovers stays bit-identical to the dense
+    failure-free baseline, under both recovery strategies."""
+
+    @pytest.mark.parametrize("recovery", ["rollback", "confined"])
+    def test_recovered_run_matches_dense_baseline(self, recovery):
+        graph = load_graph("twitter", SCALE)
+        args = default_args("sssp", graph)
+        sssp = MANUAL_PROGRAMS["sssp"]
+        dense = sssp.run(graph, args, scheduling="dense")
+        plan = FaultPlan(
+            checkpoint_every=2,
+            crashes=(CrashEvent(worker=1, superstep=3),),
+            recovery=recovery,
+        )
+        faulted = sssp.run(
+            graph,
+            args,
+            scheduling="frontier",
+            frontier_threshold=1.0,
+            ft=FaultTolerance(plan),
+        )
+        assert faulted.metrics.faults_injected == 1
+        assert faulted.outputs == dense.outputs
+        assert faulted.metrics.parity_key() == dense.metrics.parity_key()
+
+    @pytest.mark.parametrize("recovery", ["rollback", "confined"])
+    def test_recovered_bfs_levels_match(self, recovery):
+        # the pure frontier workload: sparse supersteps on both sides of the
+        # crash, checkpoint taken mid-traversal
+        n = 64
+        dense = ManualBFS().run(line_graph(n), {"root": 0}, scheduling="dense")
+        plan = FaultPlan(
+            checkpoint_every=3,
+            crashes=(CrashEvent(worker=2, superstep=10),),
+            recovery=recovery,
+        )
+        faulted = ManualBFS().run(
+            line_graph(n),
+            {"root": 0},
+            scheduling="frontier",
+            frontier_threshold=1.0,
+            ft=FaultTolerance(plan),
+        )
+        assert faulted.metrics.faults_injected == 1
+        assert faulted.outputs == dense.outputs
+        assert faulted.metrics.parity_key() == dense.metrics.parity_key()
+
+    def test_checkpoint_carries_frontier_and_restore_rebuilds_it(self):
+        # white-box: a checkpoint taken in the sparse regime records the live
+        # frontier; a rollback restore revives it, a confined restore forces
+        # a recompute from the voted bitmap
+        n = 32
+        level = [-1] * n
+        captured = {}
+
+        def master(ctx):
+            if ctx.superstep == 5:
+                captured["state"] = ctx.checkpoint_state()
+            if ctx.superstep == 8:
+                ctx.halt()
+
+        engine = PregelEngine(
+            line_graph(n),
+            bfs_vertex(level),
+            master,
+            use_voting=True,
+            scheduling="frontier",
+            frontier_threshold=1.0,
+        )
+        engine.run()
+        state = captured["state"]
+        assert state["frontier"]  # sparse regime: the frontier was live
+
+        level2 = [-1] * n
+        twin = PregelEngine(
+            line_graph(n),
+            bfs_vertex(level2),
+            use_voting=True,
+            scheduling="frontier",
+            frontier_threshold=1.0,
+        )
+        twin.restore_state(state)
+        assert twin._frontier == state["frontier"]
+        assert not twin._frontier_dirty
+        assert twin.outbox_view() == state["outbox"]
+
+        twin.restore_state(state, vertices=[0, 1])
+        assert twin._frontier_dirty  # partition rewound: frontier recomputed
+
+    def test_dense_checkpoint_restores_into_frontier_engine(self):
+        # a checkpoint written by a dense engine has frontier=None; a
+        # frontier engine restoring it must fall back to a bitmap recompute
+        n = 32
+        level = [-1] * n
+        captured = {}
+
+        def master(ctx):
+            if ctx.superstep == 5:
+                captured["state"] = ctx.checkpoint_state()
+            if ctx.superstep == 8:
+                ctx.halt()
+
+        dense = PregelEngine(
+            line_graph(n),
+            bfs_vertex(level),
+            master,
+            use_voting=True,
+            scheduling="dense",
+        )
+        dense.run()
+        assert captured["state"]["frontier"] is None
+
+        level2 = [-1] * n
+        twin = PregelEngine(
+            line_graph(n),
+            bfs_vertex(level2),
+            use_voting=True,
+            scheduling="frontier",
+            frontier_threshold=1.0,
+        )
+        twin.restore_state(captured["state"])
+        assert twin._frontier_dirty
