@@ -16,6 +16,8 @@ from .harness import (
     max_out_degree_root,
     run_pair,
     scheduler_parity,
+    traced_run,
+    tracer_overhead,
 )
 from .loc import PAPER_TABLE2, LocRow, count_loc, table2_rows
 from .tables import render_check_matrix, render_table
@@ -42,4 +44,6 @@ __all__ = [
     "run_pair",
     "scheduler_parity",
     "table2_rows",
+    "traced_run",
+    "tracer_overhead",
 ]

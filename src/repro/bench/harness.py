@@ -14,6 +14,11 @@ The central entry points map one-to-one onto the paper's artifacts:
   checkpoint-interval sweep under an injected worker crash, verifying that
   every recovered run is bit-identical to the failure-free baseline and
   measuring the checkpoint-overhead / lost-work tradeoff.
+* :func:`traced_run` / :func:`tracer_overhead` — observability hooks: run
+  any benchmark workload with a ``repro.obs`` tracer attached (every
+  harness entry point also forwards ``tracer=`` through its engine options),
+  and measure what a *disabled* tracer costs on the Figure 6 PageRank run
+  (the overhead budget CI enforces).
 """
 
 from __future__ import annotations
@@ -418,3 +423,65 @@ def bc_experiments(scale: float = 1.0, *, repeats: int = 1, seed: int = 1) -> li
         )
         results.append(PairResult("bc_approx", key, generated, None))
     return results
+
+
+def traced_run(
+    algorithm: str,
+    graph_key: str = "twitter",
+    scale: float = 0.25,
+    *,
+    seed: int = 1,
+    args: dict | None = None,
+    **engine_opts,
+):
+    """Run one bundled algorithm with a recording tracer attached to both the
+    compiler and the engine.  Returns ``(run, tracer)`` — the ``RunResult``
+    and the :class:`repro.obs.Tracer` holding the full event stream (compiler
+    passes, per-superstep records, FT lifecycle if a plan was passed)."""
+    from ..obs import Tracer
+
+    tracer = Tracer()
+    compiled = compile_algorithm(algorithm, emit_java=False, tracer=tracer)
+    graph = load_graph(graph_key, scale, seed)
+    if args is None:
+        args = default_args(algorithm, graph)
+    run = compiled.program.run(graph, args, tracer=tracer, **engine_opts)
+    return run, tracer
+
+
+def tracer_overhead(
+    algorithm: str = "pagerank",
+    graph_key: str = "twitter",
+    scale: float = 0.25,
+    *,
+    repeats: int = 5,
+    seed: int = 1,
+) -> dict:
+    """Measure what a *disabled* tracer costs on a Figure 6 workload.
+
+    Runs the algorithm ``repeats`` times with ``tracer=None`` and ``repeats``
+    times with a :class:`repro.obs.NullTracer`, interleaved so drift hits both
+    arms equally, and compares best-of wall times.  The two paths are meant
+    to be identical (the engine installs its metering wrappers only for a
+    *recording* tracer), so the ratio is a noise-bounded regression check —
+    CI asserts it stays under the ISSUE's 5% budget.
+    """
+    from ..obs import NULL_TRACER
+
+    compiled = compile_algorithm(algorithm, emit_java=False)
+    graph = load_graph(graph_key, scale, seed)
+    args = default_args(algorithm, graph)
+    plain: list[float] = []
+    nulled: list[float] = []
+    for _ in range(max(1, repeats)):
+        plain.append(compiled.program.run(graph, args).metrics.wall_seconds)
+        nulled.append(compiled.program.run(graph, args, tracer=NULL_TRACER).metrics.wall_seconds)
+    best_plain = min(plain)
+    best_null = min(nulled)
+    return {
+        "algorithm": algorithm,
+        "graph": graph_key,
+        "best_plain_seconds": best_plain,
+        "best_null_tracer_seconds": best_null,
+        "overhead_ratio": best_null / best_plain if best_plain else 1.0,
+    }

@@ -6,7 +6,12 @@ Subcommands:
   artifact to print (java, canonical Green-Marl, the state machine, or the
   executable Python vertex program);
 * ``run FILE.gm`` — compile and execute on a generated graph, printing
-  outputs and run metrics;
+  outputs and run metrics; ``--trace``/``--trace-chrome`` export the event
+  log, ``--metrics-json`` dumps the complete metrics ledger;
+* ``trace FILE.gm`` — compile and execute with tracing on and print the
+  per-superstep timeline (phase times, active set, message traffic);
+* ``profile FILE.gm`` — compile and execute with tracing on and print the
+  per-worker load profile and straggler supersteps;
 * ``interp FILE.gm`` — execute under the shared-memory reference semantics;
 * ``bench`` — regenerate the paper's tables/figure on the simulator.
 """
@@ -14,6 +19,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -97,10 +103,19 @@ def _build_fault_tolerance(ns: argparse.Namespace):
     return FaultTolerance(plan)
 
 
-def _cmd_run(ns: argparse.Namespace) -> int:
+def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
+    """Compile and run ``ns.file``, threading one tracer through the compiler
+    and the engine when tracing is requested (or forced by the subcommand).
+    Returns ``(graph, run, tracer)``; trace/metrics exports are written here
+    so every run-shaped subcommand shares them."""
+    tracer = None
+    if force_trace or ns.trace or ns.trace_chrome:
+        from .obs import Tracer
+
+        tracer = Tracer()
     source = Path(ns.file).read_text()
     graph = _load_cli_graph(ns)
-    result = compile_source(source, emit_java=False)
+    result = compile_source(source, emit_java=False, tracer=tracer)
     args = _parse_args_list(ns.arg)
     run = result.program.run(
         graph,
@@ -109,7 +124,29 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         seed=ns.seed,
         scheduling=ns.scheduling,
         ft=_build_fault_tolerance(ns),
+        tracer=tracer,
     )
+    if ns.metrics_json:
+        Path(ns.metrics_json).write_text(
+            json.dumps(run.metrics.to_dict(), sort_keys=True, default=str) + "\n"
+        )
+    if tracer is not None:
+        from .obs import write_chrome_trace, write_jsonl
+
+        if ns.trace:
+            write_jsonl(tracer.events, ns.trace)
+            print(f"trace: {len(tracer.events)} events -> {ns.trace}", file=sys.stderr)
+        if ns.trace_chrome:
+            write_chrome_trace(tracer.events, ns.trace_chrome)
+            print(
+                f"chrome trace -> {ns.trace_chrome} (open in Perfetto)",
+                file=sys.stderr,
+            )
+    return graph, run, tracer
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    graph, run, _tracer = _execute_traced(ns)
     print(f"graph: {graph}")
     print(f"metrics: {run.metrics.summary()}")
     if run.metrics.faults_injected:
@@ -123,6 +160,28 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     for name, column in run.outputs.items():
         preview = ", ".join(str(v) for v in column[:8])
         print(f"output {name}: [{preview}{', ...' if len(column) > 8 else ''}]")
+    return 0
+
+
+def _cmd_trace(ns: argparse.Namespace) -> int:
+    from .obs import timeline_report
+
+    graph, run, tracer = _execute_traced(ns, force_trace=True)
+    print(f"graph: {graph}")
+    print(timeline_report(tracer.events))
+    print()
+    print(f"metrics: {run.metrics.summary()}")
+    return 0
+
+
+def _cmd_profile(ns: argparse.Namespace) -> int:
+    from .obs import profile_report
+
+    graph, run, tracer = _execute_traced(ns, force_trace=True)
+    print(f"graph: {graph}")
+    print(profile_report(tracer.events))
+    print()
+    print(f"metrics: {run.metrics.summary()}")
     return 0
 
 
@@ -201,8 +260,14 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument("--no-intra-loop", action="store_true")
     p_compile.set_defaults(fn=_cmd_compile)
 
-    for name, fn in (("run", _cmd_run), ("interp", _cmd_interp)):
-        p = sub.add_parser(name, help=f"{name} a .gm file on a graph")
+    run_like = (
+        ("run", _cmd_run, "run a .gm file on a graph"),
+        ("trace", _cmd_trace, "run with tracing and print the superstep timeline"),
+        ("profile", _cmd_profile, "run with tracing and print the per-worker profile"),
+        ("interp", _cmd_interp, "interp a .gm file on a graph"),
+    )
+    for name, fn, help_text in run_like:
+        p = sub.add_parser(name, help=help_text)
         p.add_argument("file")
         p.add_argument("--graph", choices=tuple(TABLE1), default="twitter")
         p.add_argument("--graph-file", help="edge-list file instead of a generator")
@@ -212,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--arg", action="append", default=[], help="procedure argument name=value"
         )
-        if name == "run":
+        if name != "interp":
             p.add_argument(
                 "--scheduling",
                 choices=("frontier", "dense"),
@@ -242,6 +307,23 @@ def main(argv: list[str] | None = None) -> int:
                 default="rollback",
                 help="recovery strategy: rollback replays every partition, "
                 "confined replays only the failed worker's partition",
+            )
+            p.add_argument(
+                "--trace",
+                metavar="FILE",
+                help="write the observability event log (compiler passes, "
+                "per-superstep records, FT lifecycle) as JSONL",
+            )
+            p.add_argument(
+                "--trace-chrome",
+                metavar="FILE",
+                help="write the trace in Chrome trace-event JSON "
+                "(loadable in Perfetto / chrome://tracing)",
+            )
+            p.add_argument(
+                "--metrics-json",
+                metavar="FILE",
+                help="write the complete RunMetrics ledger as JSON",
             )
         p.set_defaults(fn=fn)
 

@@ -48,24 +48,49 @@ def compile_procedure(
     state_merging: bool = True,
     intra_loop_merging: bool = True,
     emit_java: bool = True,
+    tracer=None,
 ) -> CompilationResult:
-    """Compile an already-parsed procedure (consumed destructively)."""
+    """Compile an already-parsed procedure (consumed destructively).
+
+    ``tracer`` (a ``repro.obs`` tracer) records the compiler-pass telemetry:
+    one ``compile.pass`` event per §4.1/§4.2 transformation (with the
+    state-machine size before/after merging), span events for the pipeline
+    stages, and a final ``compile.rules`` event carrying the full applied-rule
+    row — Table 3 as a trace.
+    """
+    if tracer is None or not tracer.enabled:
+        from .obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
     name = proc.name
-    canonical: CanonicalProgram = to_canonical(proc)
+    with tracer.span("compile.canonicalize", cat="compile"):
+        canonical: CanonicalProgram = to_canonical(proc, tracer=tracer)
     canonical_source = pretty(canonical.procedure)
-    ir = translate(canonical)
-    optimize(
-        ir,
-        canonical.rules,
-        state_merging=state_merging,
-        intra_loop_merging=intra_loop_merging,
-    )
-    program = CompiledProgram(ir)
+    with tracer.span("compile.translate", cat="compile") as span:
+        ir = translate(canonical)
+        span.info["states"] = len(ir.phases)
+        span.info["messages"] = len(ir.messages)
+    with tracer.span("compile.optimize", cat="compile"):
+        optimize(
+            ir,
+            canonical.rules,
+            state_merging=state_merging,
+            intra_loop_merging=intra_loop_merging,
+            tracer=tracer,
+        )
+    with tracer.span("compile.codegen", cat="compile"):
+        program = CompiledProgram(ir)
     java_source = ""
     if emit_java:
         from .codegen.java import generate_java
 
-        java_source = generate_java(ir)
+        with tracer.span("compile.codegen_java", cat="compile"):
+            java_source = generate_java(ir)
+    tracer.event(
+        "compile.rules",
+        cat="compile",
+        det={"procedure": name, "applied": sorted(canonical.rules.applied)},
+    )
     return CompilationResult(
         name=name,
         procedure=canonical.procedure,

@@ -1,0 +1,61 @@
+"""``repro.obs`` — the observability subsystem.
+
+A cross-cutting tracing/profiling layer threaded through the Pregel engine
+(per-superstep phase timings, per-worker load, frontier/scheduler state),
+the fault-tolerance manager (checkpoint/crash/recovery lifecycle), and the
+compiler pipeline (which §4.1/§4.2 transformations fired, with per-pass
+timings — Table 3 as a trace).
+
+Attach a :class:`Tracer` anywhere an engine option travels::
+
+    from repro.obs import Tracer
+    tracer = Tracer()
+    compiled = compile_algorithm("pagerank", emit_java=False, tracer=tracer)
+    compiled.program.run(graph, args, tracer=tracer)
+    write_chrome_trace(tracer.events, "pagerank.json")   # open in Perfetto
+
+The default is :data:`NULL_TRACER` semantics — ``tracer=None`` leaves the
+engine's hot loops completely untouched (measured <5% on the Figure 6
+PageRank run; see ``benchmarks/bench_obs.py``).
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, deterministic_events
+from .export import (
+    chrome_trace,
+    deterministic_jsonl,
+    load_jsonl,
+    strip_timing,
+    timeline_report,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .profile import (
+    StragglerRow,
+    WorkerStats,
+    profile_report,
+    straggler_supersteps,
+    worker_profile,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StragglerRow",
+    "TraceEvent",
+    "Tracer",
+    "WorkerStats",
+    "chrome_trace",
+    "deterministic_events",
+    "deterministic_jsonl",
+    "load_jsonl",
+    "profile_report",
+    "straggler_supersteps",
+    "strip_timing",
+    "timeline_report",
+    "to_jsonl",
+    "worker_profile",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,295 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, and a textual timeline.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per line, the
+  machine-readable event log.  :func:`deterministic_jsonl` writes only the
+  deterministic projection (no timestamps, no ``info``), the form that is
+  byte-identical across schedulers and across fault-injected recovered runs.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (one ``{"traceEvents": [...]}`` object), loadable in
+  Perfetto / ``chrome://tracing``.  Superstep phase times become complete
+  ("X") slices on per-phase tracks, per-worker compute time becomes one
+  track per worker, and frontier/message counts become counter ("C") tracks.
+* :func:`timeline_report` — a fixed-width per-superstep table for terminals
+  and CI logs (the ``gm-pregel trace`` output).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import TraceEvent, deterministic_events
+
+#: superstep phase keys (in ``info``) → display label, in execution order.
+PHASES = (
+    ("master_s", "master"),
+    ("route_s", "route"),
+    ("vertex_s", "vertex"),
+    ("combine_s", "combine"),
+    ("barrier_s", "barrier"),
+)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(events) -> str:
+    """The full event log, one sorted-key JSON object per line."""
+    return "".join(
+        json.dumps(e.to_obj(), sort_keys=True, default=str) + "\n" for e in events
+    )
+
+
+def deterministic_jsonl(events) -> str:
+    """The deterministic projection as JSONL (timestamps and ``info``
+    excluded) — byte-identical across runs that must agree."""
+    return "".join(
+        json.dumps(obj, sort_keys=True, default=str) + "\n"
+        for obj in deterministic_events(events)
+    )
+
+
+def write_jsonl(events, path) -> None:
+    Path(path).write_text(to_jsonl(events))
+
+
+def load_jsonl(path) -> list[dict]:
+    return [json.loads(line) for line in Path(path).read_text().splitlines() if line]
+
+
+def strip_timing(obj: dict) -> dict:
+    """Project one parsed JSONL record down to its deterministic half
+    (drop ``ts``/``dur``/``info``); returns ``{}`` for non-deterministic
+    events so callers can filter on truthiness."""
+    if "det" not in obj:
+        return {}
+    return {"name": obj["name"], "det": obj["det"]}
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+_PID = 1
+#: tid layout: fixed tracks for the superstep phases, counters, then one
+#: track per worker starting at _WORKER_TID0.
+_PHASE_TID0 = 1
+_COUNTER_TID = 0
+_WORKER_TID0 = 100
+
+
+def chrome_trace(events) -> dict:
+    """Render the event stream in Chrome trace-event format (JSON object
+    form).  All timestamps are microseconds from the tracer epoch."""
+    out: list[dict] = []
+
+    def meta(tid: int, label: str) -> dict:
+        return {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": label},
+        }
+
+    out.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "args": {"name": "gm-pregel"},
+        }
+    )
+    for idx, (_, label) in enumerate(PHASES):
+        out.append(meta(_PHASE_TID0 + idx, f"phase:{label}"))
+    workers_named = 0
+
+    for e in events:
+        base = e.ts * 1e6
+        if e.name == "superstep" and e.info is not None:
+            step = (e.det or {}).get("step", "?")
+            t = base
+            for idx, (key, label) in enumerate(PHASES):
+                dur = e.info.get(key, 0.0) * 1e6
+                out.append(
+                    {
+                        "ph": "X",
+                        "name": f"{label} s{step}",
+                        "cat": e.cat,
+                        "pid": _PID,
+                        "tid": _PHASE_TID0 + idx,
+                        "ts": t,
+                        "dur": dur,
+                    }
+                )
+                t += dur
+            det = e.det or {}
+            out.append(
+                {
+                    "ph": "C",
+                    "name": "active_vertices",
+                    "pid": _PID,
+                    "tid": _COUNTER_TID,
+                    "ts": base,
+                    "args": {"active": det.get("active", 0)},
+                }
+            )
+            out.append(
+                {
+                    "ph": "C",
+                    "name": "messages",
+                    "pid": _PID,
+                    "tid": _COUNTER_TID,
+                    "ts": base,
+                    "args": {
+                        "messages": det.get("messages", 0),
+                        "net_messages": det.get("net_messages", 0),
+                    },
+                }
+            )
+            worker_seconds = e.info.get("worker_seconds", ())
+            while workers_named < len(worker_seconds):
+                out.append(meta(_WORKER_TID0 + workers_named, f"worker {workers_named}"))
+                workers_named += 1
+            # Per-worker compute slices: each worker's share of the vertex
+            # phase, drawn from the phase's start so stragglers stand out.
+            vertex_ts = base + sum(e.info.get(k, 0.0) for k, _ in PHASES[:2]) * 1e6
+            for w, seconds in enumerate(worker_seconds):
+                out.append(
+                    {
+                        "ph": "X",
+                        "name": f"w{w} s{step}",
+                        "cat": "worker",
+                        "pid": _PID,
+                        "tid": _WORKER_TID0 + w,
+                        "ts": vertex_ts,
+                        "dur": seconds * 1e6,
+                        "args": {
+                            "computed": _at(det.get("worker_computed"), w),
+                            "sent": _at(det.get("worker_sent"), w),
+                            "bytes": _at(det.get("worker_bytes"), w),
+                        },
+                    }
+                )
+        elif e.dur is not None:
+            out.append(
+                {
+                    "ph": "X",
+                    "name": e.name,
+                    "cat": e.cat,
+                    "pid": _PID,
+                    "tid": _COUNTER_TID,
+                    "ts": base,
+                    "dur": e.dur * 1e6,
+                    "args": _args(e),
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": e.name,
+                    "cat": e.cat,
+                    "pid": _PID,
+                    "tid": _COUNTER_TID,
+                    "ts": base,
+                    "args": _args(e),
+                }
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _at(seq, idx):
+    try:
+        return seq[idx]
+    except (TypeError, IndexError):
+        return None
+
+
+def _args(e: TraceEvent) -> dict:
+    args: dict = {}
+    if e.det:
+        args.update(e.det)
+    if e.info:
+        args.update(e.info)
+    return args
+
+
+def write_chrome_trace(events, path) -> None:
+    Path(path).write_text(json.dumps(chrome_trace(events), default=str))
+
+
+# ---------------------------------------------------------------------------
+# Textual timeline
+# ---------------------------------------------------------------------------
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def timeline_report(events) -> str:
+    """A per-superstep table: counts on the left, phase milliseconds on the
+    right — the ``gm-pregel trace`` terminal view."""
+    header = [
+        "step",
+        "mode",
+        "active",
+        "halted",
+        "msgs",
+        "bytes",
+        "net",
+        "master ms",
+        "route ms",
+        "vertex ms",
+        "combine ms",
+        "barrier ms",
+        "imbal",
+    ]
+    rows: list[list[str]] = []
+    for e in events:
+        if e.name != "superstep":
+            continue
+        det, info = e.det or {}, e.info or {}
+        secs = info.get("worker_seconds") or []
+        busiest = max(secs) if secs else 0.0
+        mean = (sum(secs) / len(secs)) if secs else 0.0
+        rows.append(
+            [
+                str(det.get("step", "?")),
+                str(info.get("mode", "?")),
+                str(det.get("active", 0)),
+                str(det.get("halted", 0)),
+                str(det.get("messages", 0)),
+                str(det.get("message_bytes", 0)),
+                str(det.get("net_messages", 0)),
+                _fmt_ms(info.get("master_s", 0.0)),
+                _fmt_ms(info.get("route_s", 0.0)),
+                _fmt_ms(info.get("vertex_s", 0.0)),
+                _fmt_ms(info.get("combine_s", 0.0)),
+                _fmt_ms(info.get("barrier_s", 0.0)),
+                f"{busiest / mean:.2f}" if mean > 0 else "-",
+            ]
+        )
+    if not rows:
+        return "(no superstep records in trace)"
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in rows]
+    tail = [e for e in events if e.name == "run.end"]
+    if tail:
+        det = tail[-1].det or {}
+        lines.append("")
+        lines.append(
+            f"run: supersteps={det.get('supersteps')} messages={det.get('messages')} "
+            f"net_bytes={det.get('net_bytes')} halt={det.get('halt_reason')}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Per-worker profiling: aggregate a trace into worker load and straggler
+reports.
+
+The paper's per-graph runtimes are dominated by the slowest worker of each
+superstep (skewed graphs concentrate hub traffic on one partition).  The
+profile view makes that visible from a recorded trace:
+
+* :func:`worker_profile` — per-worker totals over the whole run: vertices
+  computed, messages sent (combiner folds included, as in
+  ``RunMetrics.worker_sent``), payload bytes staged, and vertex-compute
+  seconds;
+* :func:`straggler_supersteps` — the supersteps with the worst
+  compute-time imbalance (max/mean over workers), i.e. where a real cluster
+  would stall at the barrier;
+* :func:`profile_report` — both, rendered as the ``gm-pregel profile``
+  terminal view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkerStats:
+    """One worker's totals over a traced run."""
+
+    worker: int
+    computed: int = 0
+    sent: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
+
+
+def _superstep_events(events):
+    return [e for e in events if e.name == "superstep"]
+
+
+def worker_profile(events) -> list[WorkerStats]:
+    """Aggregate per-superstep worker counters into per-worker run totals."""
+    stats: list[WorkerStats] = []
+
+    def _grow(n: int) -> None:
+        while len(stats) < n:
+            stats.append(WorkerStats(worker=len(stats)))
+
+    for e in _superstep_events(events):
+        det, info = e.det or {}, e.info or {}
+        computed = det.get("worker_computed") or []
+        sent = det.get("worker_sent") or []
+        nbytes = det.get("worker_bytes") or []
+        seconds = info.get("worker_seconds") or []
+        _grow(max(len(computed), len(sent), len(nbytes), len(seconds)))
+        for w, v in enumerate(computed):
+            stats[w].computed += v
+        for w, v in enumerate(sent):
+            stats[w].sent += v
+        for w, v in enumerate(nbytes):
+            stats[w].bytes += v
+        for w, v in enumerate(seconds):
+            stats[w].seconds += v
+    return stats
+
+
+@dataclass
+class StragglerRow:
+    """One superstep's load-imbalance summary."""
+
+    step: int
+    slowest_worker: int
+    slowest_seconds: float
+    imbalance: float  # max/mean of per-worker compute seconds (1.0 = balanced)
+
+
+def straggler_supersteps(events, top: int = 5) -> list[StragglerRow]:
+    """The ``top`` supersteps with the worst compute-time imbalance."""
+    rows: list[StragglerRow] = []
+    for e in _superstep_events(events):
+        det, info = e.det or {}, e.info or {}
+        secs = info.get("worker_seconds") or []
+        if not secs:
+            continue
+        mean = sum(secs) / len(secs)
+        if mean <= 0:
+            continue
+        worst = max(range(len(secs)), key=lambda w: secs[w])
+        rows.append(
+            StragglerRow(det.get("step", -1), worst, secs[worst], max(secs) / mean)
+        )
+    rows.sort(key=lambda r: r.imbalance, reverse=True)
+    return rows[:top]
+
+
+def profile_report(events, top: int = 5) -> str:
+    """The ``gm-pregel profile`` terminal view: per-worker totals plus the
+    worst straggler supersteps."""
+    stats = worker_profile(events)
+    if not stats:
+        return "(no superstep records in trace)"
+    lines = ["== per-worker totals =="]
+    header = ["worker", "computed", "sent", "bytes", "compute ms", "share"]
+    total_seconds = sum(s.seconds for s in stats) or 1.0
+    rows = [
+        [
+            str(s.worker),
+            str(s.computed),
+            str(s.sent),
+            str(s.bytes),
+            f"{s.seconds * 1e3:.2f}",
+            f"{100.0 * s.seconds / total_seconds:.1f}%",
+        ]
+        for s in stats
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in rows]
+
+    sent = [s.sent for s in stats]
+    if sent and sum(sent) > 0:
+        mean = sum(sent) / len(sent)
+        lines.append("")
+        lines.append(f"send load imbalance (max/mean): {max(sent) / mean:.2f}")
+
+    stragglers = straggler_supersteps(events, top)
+    if stragglers:
+        lines.append("")
+        lines.append(f"== top {len(stragglers)} straggler supersteps ==")
+        for row in stragglers:
+            lines.append(
+                f"  step {row.step}: worker {row.slowest_worker} took "
+                f"{row.slowest_seconds * 1e3:.2f} ms "
+                f"({row.imbalance:.2f}x the mean)"
+            )
+    return "\n".join(lines)

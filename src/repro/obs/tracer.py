@@ -1,0 +1,171 @@
+"""The tracing core: spans, typed events, and the deterministic projection.
+
+The observability layer records everything the paper's evaluation (§5)
+measures — per-superstep message/byte/timestep counts, per-worker load, which
+compiler transformations fired — as a single ordered stream of
+:class:`TraceEvent` records.  Two tracer implementations share one API:
+
+* :class:`Tracer` — records events with wall-clock offsets taken from a
+  per-tracer epoch (``perf_counter`` at construction);
+* :class:`NullTracer` — the default; every method is a no-op and
+  ``enabled`` is ``False``, so instrumented code can skip even the cheap
+  bookkeeping.  The engine treats ``tracer=None`` and a disabled tracer
+  identically: the hot loops are untouched.
+
+Every event separates its payload into two dicts:
+
+* ``det`` — the *deterministic* fields: quantities that must be bit-identical
+  across ``frontier``/``dense`` scheduling and across fault-injected
+  recovered runs (message counts, bytes, per-worker send/compute counts,
+  halt votes, applied compiler rules).  Events whose outcome legitimately
+  differs between such runs (checkpoints, crashes, recovery) carry
+  ``det=None`` and are excluded from the deterministic projection.
+* ``info`` — everything else: wall times, scheduler mode (sparse vs dense),
+  fault-tolerance detail, straggler timings.
+
+:func:`deterministic_events` projects a stream down to its ``det`` half;
+``repro.obs.export.deterministic_jsonl`` serializes that projection so tests
+can assert byte equality between two traces.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceEvent:
+    """One record in the trace stream.
+
+    ``ts`` is seconds since the tracer's epoch; ``dur`` is the span length in
+    seconds for span-shaped events (``None`` for instants).
+    """
+
+    name: str
+    cat: str = "run"
+    ts: float = 0.0
+    dur: float | None = None
+    det: dict | None = None
+    info: dict | None = None
+
+    def to_obj(self) -> dict:
+        """A plain JSON-serializable dict (stable key set, no None noise)."""
+        obj: dict = {"name": self.name, "cat": self.cat, "ts": self.ts}
+        if self.dur is not None:
+            obj["dur"] = self.dur
+        if self.det is not None:
+            obj["det"] = self.det
+        if self.info is not None:
+            obj["info"] = self.info
+        return obj
+
+
+@dataclass
+class Span:
+    """Mutable payload handed out by :meth:`Tracer.span`: fill ``det`` /
+    ``info`` inside the ``with`` body and the closing event carries them."""
+
+    det: dict = field(default_factory=dict)
+    info: dict = field(default_factory=dict)
+
+
+class NullTracer:
+    """The do-nothing tracer: the default observability configuration.
+
+    ``enabled`` is ``False`` so instrumented call-sites (the engine's run
+    loop, the compiler pipeline) skip their bookkeeping entirely; the methods
+    still exist so code that *does* call them unconditionally stays correct.
+    """
+
+    enabled = False
+    events: tuple = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def event(self, name, cat="run", det=None, info=None, ts=None, dur=None) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, cat="run"):
+        yield Span()
+
+    def on_rollback(self, superstep: int) -> None:
+        pass
+
+
+#: Shared no-op instance — safe because NullTracer holds no state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording tracer: one per traced execution (engine run and/or
+    compilation).  Event timestamps are offsets from the tracer's creation,
+    so one tracer threaded through compile *and* run yields one coherent
+    timeline."""
+
+    enabled = True
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+        self.events: list[TraceEvent] = []
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return time.perf_counter() - self._t0
+
+    def event(
+        self,
+        name: str,
+        cat: str = "run",
+        det: dict | None = None,
+        info: dict | None = None,
+        ts: float | None = None,
+        dur: float | None = None,
+    ) -> None:
+        self.events.append(
+            TraceEvent(name, cat, self.now() if ts is None else ts, dur, det, info)
+        )
+
+    @contextmanager
+    def span(self, name: str, cat: str = "run"):
+        """Time a region; the event is appended when the block exits."""
+        t0 = self.now()
+        payload = Span()
+        try:
+            yield payload
+        finally:
+            self.event(
+                name,
+                cat,
+                det=payload.det or None,
+                info=payload.info or None,
+                ts=t0,
+                dur=self.now() - t0,
+            )
+
+    def on_rollback(self, superstep: int) -> None:
+        """Rollback recovery rewound the engine to ``superstep``: drop the
+        superstep records the replay is about to regenerate, so a recovered
+        run's deterministic stream matches its failure-free twin's.  Events
+        without a step (fault-tolerance lifecycle, compile passes) describe
+        things that really happened and are kept."""
+        self.events = [
+            e
+            for e in self.events
+            if not (
+                e.det is not None
+                and "step" in e.det
+                and e.det["step"] >= superstep
+            )
+        ]
+
+
+def deterministic_events(events) -> list[dict]:
+    """The deterministic projection of a trace: ``(name, det)`` for every
+    event that carries deterministic fields, in stream order.  This is the
+    sequence asserted bit-identical across schedulers and across
+    fault-injected recovered runs."""
+    return [{"name": e.name, "det": e.det} for e in events if e.det is not None]

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import pickle
 import random
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
@@ -250,10 +251,22 @@ class FaultTolerance:
             metrics.retry_backoff_units += 1 << (attempt - 1)
             attempt += 1
 
+    # -- observability ---------------------------------------------------
+
+    def _tracer(self):
+        """The engine's recording tracer, or None.  FT events carry no
+        deterministic payload (``det=None``): a faulted run's trace must
+        still project to the same deterministic stream as its failure-free
+        twin, and checkpoints/crashes/recoveries only happen on the faulted
+        side."""
+        tracer = self._engine.tracer
+        return tracer if tracer is not None and tracer.enabled else None
+
     # -- checkpointing ---------------------------------------------------
 
     def _take_checkpoint(self) -> None:
         engine = self._engine
+        t0 = time.perf_counter()
         payload = {
             "engine": engine.checkpoint_state(),
             "programs": [p.checkpoint_state() for p in self._programs],
@@ -262,6 +275,17 @@ class FaultTolerance:
         self._checkpoints.append((engine.superstep, blob))
         engine.metrics.checkpoints_taken += 1
         engine.metrics.checkpoint_bytes += len(blob)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "ft.checkpoint",
+                cat="ft",
+                info={
+                    "superstep": engine.superstep,
+                    "bytes": len(blob),
+                    "seconds": time.perf_counter() - t0,
+                },
+            )
         # Logs before the new recovery point can never be replayed again.
         horizon = engine.superstep - 1
         for log in (self._outbox_log, self._broadcast_log):
@@ -282,6 +306,20 @@ class FaultTolerance:
         ckpt_step, blob = self._checkpoints[-1]
         lost = engine.superstep - ckpt_step
         metrics.lost_supersteps += lost
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "ft.crash",
+                cat="ft",
+                info={
+                    "worker": crash.worker,
+                    "superstep": crash.superstep,
+                    "checkpoint_superstep": ckpt_step,
+                    "lost_supersteps": lost,
+                },
+            )
+        t0 = time.perf_counter()
+        replay_before = metrics.recovery_replay_work
         payload = pickle.loads(blob)
         if self.plan.recovery == "rollback":
             engine.restore_state(payload["engine"])
@@ -291,6 +329,18 @@ class FaultTolerance:
             metrics.recovery_replay_work += lost * engine.graph.num_nodes
         else:
             self._confined_recover(crash.worker, ckpt_step, payload)
+        if tracer is not None:
+            tracer.event(
+                "ft.recovery",
+                cat="ft",
+                info={
+                    "strategy": self.plan.recovery,
+                    "worker": crash.worker,
+                    "from_superstep": ckpt_step,
+                    "replay_work": metrics.recovery_replay_work - replay_before,
+                    "seconds": time.perf_counter() - t0,
+                },
+            )
 
     def _confined_recover(self, worker: int, ckpt_step: int, payload: dict) -> None:
         """Recompute only the failed partition, feeding it logged traffic.

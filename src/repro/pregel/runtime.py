@@ -50,11 +50,12 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ft import FaultTolerance
+    from ..obs.tracer import Tracer
 
 from .globalmap import GlobalObjectMap, GlobalOp
 from .graph import Graph
@@ -128,6 +129,17 @@ class RunMetrics:
         mean = sum(sent) / len(sent)
         return max(sent) / mean
 
+    def to_dict(self) -> dict:
+        """The complete ledger as plain data — *every* dataclass field, so a
+        machine-readable dump can never silently lag behind new counters
+        (asserted against ``dataclasses.fields`` by the test suite).  List
+        fields are copied; the caller owns the result."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, list) else value
+        return out
+
     def parity_key(self) -> dict:
         """The deterministic quantities a recovered run must reproduce
         bit-identically against its failure-free twin (everything the paper
@@ -156,6 +168,11 @@ class RunMetrics:
                 f"ckpt_bytes={self.checkpoint_bytes} faults={self.faults_injected} "
                 f"lost_supersteps={self.lost_supersteps} "
                 f"replay_work={self.recovery_replay_work}"
+            )
+        if self.messages_retried:
+            text += (
+                f" | net: retried={self.messages_retried} "
+                f"backoff_units={self.retry_backoff_units}"
             )
         return text
 
@@ -189,6 +206,7 @@ class PregelEngine:
         ft: "FaultTolerance | None" = None,
         scheduling: str = "frontier",
         frontier_threshold: float = 0.25,
+        tracer: "Tracer | None" = None,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -270,6 +288,13 @@ class PregelEngine:
         self._ft_replaying = False
         if ft is not None:
             ft.attach(self)
+        # Observability (repro.obs): ``tracer=None`` (or a disabled tracer)
+        # leaves the hot loops untouched — instrumentation is installed by
+        # run() only when the tracer records (see _install_tracing).
+        self.tracer = tracer
+        self._trace_worker_computed: list[int] = []
+        self._trace_worker_seconds: list[float] = []
+        self._trace_worker_bytes: list[int] = []
 
     # ------------------------------------------------------------------
     # Vertex-side API
@@ -525,14 +550,101 @@ class PregelEngine:
         metrics = self.metrics
         for name, value in state["metrics"].items():
             setattr(metrics, name, value)
-        metrics.per_superstep_messages[:] = state["per_superstep_messages"]
+        # The per-superstep record must stay in lockstep with ``superstep``:
+        # one entry per completed superstep.  A checkpoint can legitimately
+        # carry *fewer* entries (it was written by an engine that had
+        # ``record_per_superstep`` off — pad the unknown early supersteps
+        # with 0 so later appends land at the right index) but never more.
+        saved_per_superstep = state["per_superstep_messages"]
+        if len(saved_per_superstep) > state["superstep"]:
+            raise ValueError(
+                f"checkpoint at superstep {state['superstep']} carries "
+                f"{len(saved_per_superstep)} per-superstep entries — a "
+                "checkpoint can never have more entries than completed "
+                "supersteps"
+            )
+        metrics.per_superstep_messages[:] = saved_per_superstep
+        if self._record_per_superstep and len(saved_per_superstep) < state["superstep"]:
+            metrics.per_superstep_messages.extend(
+                [0] * (state["superstep"] - len(saved_per_superstep))
+            )
         metrics.worker_sent[:] = state["worker_sent"]
+        # Rollback recovery is about to replay the dropped supersteps: the
+        # tracer must drop their records too, so a recovered run's stream
+        # stays identical to a failure-free one.
+        if self.tracer is not None:
+            self.tracer.on_rollback(self.superstep)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
+    def _install_tracing(self) -> None:
+        """Swap in the traced execution hooks (recording tracer only).
+
+        The untraced hot path stays byte-identical: tracing wraps the vertex
+        function (per-worker computed counts + compute seconds) and shadows
+        ``send`` with an instance attribute (per-worker staged payload
+        bytes), so the engine's loops and the per-send fast path carry zero
+        extra branches when tracing is off.  Per-worker bytes are metered on
+        the *staged* payload (pre-combiner-fold: the sends are identical
+        under either scheduler, which keeps the quantity deterministic).
+        Confined-recovery replay (``_ft_replaying``) is transparent to both
+        wrappers — its work was already counted by the original execution.
+        """
+        workers = self.num_workers
+        self._trace_worker_computed = [0] * workers
+        self._trace_worker_seconds = [0.0] * workers
+        self._trace_worker_bytes = [0] * workers
+        inner = self._vertex_compute
+        worker_of = self._worker_of
+        computed = self._trace_worker_computed
+        seconds = self._trace_worker_seconds
+        staged_bytes = self._trace_worker_bytes
+        size_of = self._message_size
+        perf = time.perf_counter
+        cls_send = PregelEngine.send
+
+        def traced_compute(ctx, vid, messages):
+            if self._ft_replaying:
+                inner(ctx, vid, messages)
+                return
+            w = worker_of[vid]
+            computed[w] += 1
+            t0 = perf()
+            inner(ctx, vid, messages)
+            seconds[w] += perf() - t0
+
+        def traced_send(dst, msg):
+            sender = self._current_vertex
+            if sender >= 0 and not self._ft_replaying:
+                staged_bytes[worker_of[sender]] += size_of(msg)
+            cls_send(self, dst, msg)
+
+        self._vertex_compute = traced_compute
+        self.send = traced_send  # type: ignore[method-assign]
+
     def run(self) -> RunMetrics:
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            self._install_tracing()
+            tracer.event(
+                "run.begin",
+                cat="engine",
+                det={
+                    "num_workers": self.num_workers,
+                    "num_nodes": self.graph.num_nodes,
+                    "num_edges": self.graph.num_edges,
+                    "use_voting": self._use_voting,
+                    "partitioning": self.partitioning,
+                },
+                info={
+                    "scheduling": self.scheduling,
+                    "frontier_threshold": self._frontier_threshold,
+                    "max_supersteps": self._max_supersteps,
+                },
+            )
         start = time.perf_counter()
         graph = self.graph
         n = graph.num_nodes
@@ -546,6 +658,25 @@ class PregelEngine:
             # scheduled crash (recovery may rewind ``self.superstep``).
             if ft is not None:
                 ft.on_superstep_start()
+            if traced:
+                # Snapshot the ledger *after* any recovery so the superstep
+                # record meters exactly this superstep's deltas.
+                _m = self.metrics
+                step_ts = tracer.now()
+                t_phase = time.perf_counter()
+                s_messages = _m.messages
+                s_message_bytes = _m.message_bytes
+                s_net_messages = _m.net_messages
+                s_net_bytes = _m.net_bytes
+                s_broadcasts = _m.broadcast_values
+                s_worker_sent = list(_m.worker_sent)
+                tw_computed = self._trace_worker_computed
+                tw_seconds = self._trace_worker_seconds
+                tw_bytes = self._trace_worker_bytes
+                for w in range(self.num_workers):
+                    tw_computed[w] = 0
+                    tw_seconds[w] = 0.0
+                    tw_bytes[w] = 0
 
             # Master phase: sees globals aggregated from the previous superstep.
             if self._master_compute is not None:
@@ -555,6 +686,9 @@ class PregelEngine:
                     break
             if ft is not None:
                 ft.on_master_done()
+            if traced:
+                t_now = time.perf_counter()
+                master_s, t_phase = t_now - t_phase, t_now
 
             # Deliver messages sent last superstep.  Frontier mode routes the
             # per-worker outbox batches once, here at the barrier, into the
@@ -619,6 +753,10 @@ class PregelEngine:
                         halt_reason = "all_halted"
                         break
 
+            if traced:
+                t_now = time.perf_counter()
+                route_s, t_phase = t_now - t_phase, t_now
+
             before = self.metrics.messages
             compute = self._vertex_compute
             track = self._track_makespan
@@ -665,11 +803,17 @@ class PregelEngine:
                         step_work[worker_of[vid]] += 1
                     compute(self, vid, inbox.get(vid, _NO_MESSAGES))
             self._current_vertex = -1  # leaving the vertex phase
+            if traced:
+                t_now = time.perf_counter()
+                vertex_s, t_phase = t_now - t_phase, t_now
 
             # Barrier: flush combiner slots (metering the folded payloads),
             # then account the superstep.
             if self._combined:
                 self._flush_combined()
+            if traced:
+                t_now = time.perf_counter()
+                combine_s, t_phase = t_now - t_phase, t_now
             if self._record_per_superstep:
                 self.metrics.per_superstep_messages.append(self.metrics.messages - before)
             if track:
@@ -682,9 +826,60 @@ class PregelEngine:
                 ft.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
+            if traced:
+                m = self.metrics
+                tracer.event(
+                    "superstep",
+                    cat="engine",
+                    ts=step_ts,
+                    det={
+                        "step": self.superstep - 1,
+                        "active": sum(tw_computed),
+                        "halted": int(sum(voted)) if voted is not None else 0,
+                        "messages": m.messages - s_messages,
+                        "message_bytes": m.message_bytes - s_message_bytes,
+                        "net_messages": m.net_messages - s_net_messages,
+                        "net_bytes": m.net_bytes - s_net_bytes,
+                        "broadcasts": m.broadcast_values - s_broadcasts,
+                        "worker_computed": list(tw_computed),
+                        "worker_sent": [
+                            now - then
+                            for now, then in zip(m.worker_sent, s_worker_sent)
+                        ],
+                        "worker_bytes": list(tw_bytes),
+                    },
+                    info={
+                        "mode": "sparse" if frontier is not None else "dense",
+                        "frontier": len(frontier) if frontier is not None else -1,
+                        "master_s": master_s,
+                        "route_s": route_s,
+                        "vertex_s": vertex_s,
+                        "combine_s": combine_s,
+                        "barrier_s": time.perf_counter() - t_phase,
+                        "worker_seconds": list(tw_seconds),
+                    },
+                )
 
         self.metrics.supersteps = self.superstep
         self.metrics.wall_seconds = time.perf_counter() - start
         self.metrics.result = self.result
         self.metrics.halt_reason = halt_reason
+        if traced:
+            m = self.metrics
+            tracer.event(
+                "run.end",
+                cat="engine",
+                det={
+                    "supersteps": m.supersteps,
+                    "messages": m.messages,
+                    "message_bytes": m.message_bytes,
+                    "net_messages": m.net_messages,
+                    "net_bytes": m.net_bytes,
+                    "broadcast_values": m.broadcast_values,
+                    "worker_sent": list(m.worker_sent),
+                    "halt_reason": m.halt_reason,
+                    "result": m.result,
+                },
+                info={"wall_seconds": m.wall_seconds},
+            )
         return self.metrics

@@ -62,36 +62,48 @@ class CanonicalProgram:
     rules: RuleLog
 
 
-def to_canonical(proc: Procedure, *, rules: RuleLog | None = None) -> CanonicalProgram:
+def to_canonical(
+    proc: Procedure, *, rules: RuleLog | None = None, tracer=None
+) -> CanonicalProgram:
     """Transform ``proc`` (in place) into Pregel-canonical form.
 
     Raises :class:`NotPregelCanonicalError` if violations remain after all
     transformation rules have been applied — mirroring the paper's
     "otherwise, the compiler reports an error".
+
+    ``tracer`` (a ``repro.obs`` tracer) records one ``compile.pass`` event
+    per transformation — which §4.1 rules fired and how long each took, the
+    raw material Table 3 is regenerated from.
     """
     log = rules if rules is not None else RuleLog()
+    if tracer is None or not tracer.enabled:
+        from ..obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+
+    def _pass(rule: str, fn) -> None:
+        t0 = tracer.now()
+        applied = bool(fn())
+        if applied and rule in TABLE3_ROWS:
+            log.mark(rule)
+        tracer.event(
+            "compile.pass",
+            cat="compile",
+            det={"pass": rule, "applied": applied},
+            ts=t0,
+            dur=tracer.now() - t0,
+        )
+        typecheck(proc)
+
     result = typecheck(proc)
     graph_name = result.graph_name
     names = NameGenerator.for_procedure(proc)
 
-    normalize(proc)
-    result = typecheck(proc)
-
-    if lower_bfs(proc, graph_name, names):
-        log.mark("BFS Traversal")
-    result = typecheck(proc)
-
-    if rewrite_random_access(proc, graph_name, names):
-        log.mark("Random Access (Seq.)")
-    result = typecheck(proc)
-
-    dissect_result = dissect(proc, graph_name, names)
-    if dissect_result.applied:
-        log.mark("Dissecting Loops")
-    result = typecheck(proc)
-
-    if flip_edges(proc):
-        log.mark("Flipping Edge")
+    _pass("Normalize", lambda: normalize(proc) or True)
+    _pass("BFS Traversal", lambda: lower_bfs(proc, graph_name, names))
+    _pass("Random Access (Seq.)", lambda: rewrite_random_access(proc, graph_name, names))
+    _pass("Dissecting Loops", lambda: dissect(proc, graph_name, names).applied)
+    _pass("Flipping Edge", lambda: flip_edges(proc))
     result = typecheck(proc)
 
     violations = check_canonical(proc)

@@ -513,12 +513,40 @@ def optimize(
     *,
     state_merging: bool = True,
     intra_loop_merging: bool = True,
+    tracer=None,
 ) -> PregelIR:
-    """Apply the §4.2 optimizations in place and return ``ir``."""
+    """Apply the §4.2 optimizations in place and return ``ir``.
+
+    ``tracer`` (a ``repro.obs`` tracer) records one ``compile.pass`` event
+    per optimization, including the vertex-phase count before and after —
+    the state-machine shrinkage the paper's Figure 5 illustrates.
+    """
+    traced = tracer is not None and tracer.enabled
+
+    def _pass(rule: str, fn) -> None:
+        before = len(ir.phases)
+        if not traced:
+            fn()
+            return
+        t0 = tracer.now()
+        applied = bool(fn())  # merge count from this invocation, not the
+        tracer.event(  # cumulative rule log (the re-run may be a no-op)
+            "compile.pass",
+            cat="compile",
+            det={
+                "pass": rule,
+                "applied": applied,
+                "states_before": before,
+                "states_after": len(ir.phases),
+            },
+            ts=t0,
+            dur=tracer.now() - t0,
+        )
+
     if state_merging:
-        merge_states(ir, rules)
+        _pass("State Merging", lambda: merge_states(ir, rules))
     if intra_loop_merging:
-        merge_intra_loop(ir, rules)
+        _pass("Intra-Loop Merge", lambda: merge_intra_loop(ir, rules))
         if state_merging:
-            merge_states(ir, rules)
+            _pass("State Merging", lambda: merge_states(ir, rules))
     return ir

@@ -65,6 +65,85 @@ class TestRunCommand:
         assert "metrics:" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    ARGS = ["--scale", "0.05", "--arg", "e=1e-9", "--arg", "d=0.85", "--arg", "max_iter=3"]
+
+    def test_metrics_json_is_the_complete_ledger(self, tmp_path):
+        import dataclasses
+        import json
+
+        from repro.pregel.runtime import RunMetrics
+
+        path = tmp_path / "metrics.json"
+        code = main(["run", gm("pagerank"), *self.ARGS, "--metrics-json", str(path)])
+        assert code == 0
+        ledger = json.loads(path.read_text())
+        assert set(ledger) == {f.name for f in dataclasses.fields(RunMetrics)}
+        assert ledger["supersteps"] > 0 and ledger["halt_reason"]
+
+    def test_trace_writes_jsonl_event_log(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(["run", gm("pagerank"), *self.ARGS, "--trace", str(path)])
+        assert code == 0
+        events = load_jsonl(path)
+        names = [e["name"] for e in events]
+        # one coherent timeline: compiler passes, then the engine's run
+        assert "compile.pass" in names and "compile.rules" in names
+        assert "run.begin" in names and "superstep" in names and "run.end" in names
+        assert names.index("compile.rules") < names.index("run.begin")
+
+    def test_trace_chrome_writes_valid_trace_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = main(["run", gm("pagerank"), *self.ARGS, "--trace-chrome", str(path)])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_subcommand_prints_timeline(self, capsys):
+        code = main(["trace", gm("pagerank"), *self.ARGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "step" in out and "vertex ms" in out and "mode" in out
+        assert "metrics:" in out
+
+    def test_profile_subcommand_prints_worker_loads(self, capsys):
+        code = main(["profile", gm("pagerank"), *self.ARGS, "--workers", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-worker totals" in out
+        assert "compute ms" in out and "share" in out
+        # one row per worker: the totals table has header + rule + 3 rows
+        table = out.split("per-worker totals ==\n")[1].splitlines()
+        assert [row.split()[0] for row in table[2:5]] == ["0", "1", "2"]
+
+    def test_traced_faulted_run(self, tmp_path):
+        # tracing composes with fault injection on the CLI
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "run",
+                gm("pagerank"),
+                *self.ARGS,
+                "--checkpoint-every",
+                "2",
+                "--inject-fault",
+                "1@3",
+                "--trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        names = [e["name"] for e in load_jsonl(path)]
+        assert "ft.checkpoint" in names and "ft.crash" in names and "ft.recovery" in names
+
+
 class TestInterpCommand:
     def test_interp_matches_run(self, capsys):
         main(["interp", gm("avg_teen_cnt"), "--arg", "K=30", "--scale", "0.05"])

@@ -278,6 +278,74 @@ class TestEngineGuards:
         assert "ft:" not in metrics.summary()
 
 
+class TestTracedRecovery:
+    """Checkpoint/restore and the observability layer: a traced fault-injected
+    run's deterministic event stream — and the per-superstep message record —
+    must come out identical to the failure-free run's, because rollback
+    rewinds the trace and the replay regenerates the dropped records."""
+
+    def _pagerank(self):
+        graph = load_graph("twitter", SCALE)
+        compiled = compile_algorithm("pagerank", emit_java=False)
+        return compiled.program, graph, default_args("pagerank", graph)
+
+    @pytest.mark.parametrize("recovery", ("rollback", "confined"))
+    def test_recovered_trace_matches_failure_free(self, recovery):
+        from repro.obs import Tracer, deterministic_jsonl
+
+        program, graph, args = self._pagerank()
+        clean = Tracer()
+        program.run(graph, args, num_workers=WORKERS, tracer=clean)
+        faulted = Tracer()
+        plan = FaultPlan(
+            checkpoint_every=2, crashes=(CrashEvent(1, 5),), recovery=recovery
+        )
+        run = program.run(
+            graph, args, num_workers=WORKERS, ft=FaultTolerance(plan), tracer=faulted
+        )
+        assert run.metrics.faults_injected == 1
+        assert deterministic_jsonl(faulted.events) == deterministic_jsonl(clean.events)
+        # the FT lifecycle is still visible in the full (info) stream
+        names = [e.name for e in faulted.events]
+        assert "ft.crash" in names and "ft.recovery" in names
+        assert "ft.crash" not in [e.name for e in clean.events]
+
+    @pytest.mark.parametrize("recovery", ("rollback", "confined"))
+    def test_per_superstep_record_survives_recovery(self, recovery):
+        program, graph, args = self._pagerank()
+        baseline = program.run(
+            graph, args, num_workers=WORKERS, record_per_superstep=True
+        )
+        record = baseline.metrics.per_superstep_messages
+        assert len(record) == baseline.metrics.supersteps
+        plan = FaultPlan(
+            checkpoint_every=2, crashes=(CrashEvent(1, 5),), recovery=recovery
+        )
+        run = program.run(
+            graph,
+            args,
+            num_workers=WORKERS,
+            record_per_superstep=True,
+            ft=FaultTolerance(plan),
+        )
+        assert run.metrics.per_superstep_messages == record
+
+    def test_trace_rewound_to_checkpoint_on_rollback(self):
+        # white-box: after the crash at superstep 5 (checkpoint at 4), the
+        # trace must contain exactly one record per superstep — the rewound
+        # steps 4 of the first attempt replaced by the replay's.
+        from repro.obs import Tracer
+
+        program, graph, args = self._pagerank()
+        tracer = Tracer()
+        plan = FaultPlan(checkpoint_every=4, crashes=(CrashEvent(2, 5),))
+        run = program.run(
+            graph, args, num_workers=WORKERS, ft=FaultTolerance(plan), tracer=tracer
+        )
+        steps = [e.det["step"] for e in tracer.events if e.name == "superstep"]
+        assert steps == list(range(run.metrics.supersteps))
+
+
 class TestFaultAblation:
     def test_sweep_is_identical_everywhere_and_monotone(self):
         baseline, rows = fault_ablation(

@@ -235,6 +235,95 @@ class TestMetrics:
         metrics = engine.run()
         assert metrics.per_superstep_messages == [0, 1, 0]
 
+    def test_to_dict_covers_every_field(self):
+        # the JSON ledger must never silently lag behind the dataclass
+        import dataclasses
+
+        from repro.pregel.runtime import RunMetrics
+
+        g = line_graph(3)
+        metrics = PregelEngine(
+            g, lambda c, v, m: None, max_supersteps=2, record_per_superstep=True
+        ).run()
+        ledger = metrics.to_dict()
+        assert set(ledger) == {f.name for f in dataclasses.fields(RunMetrics)}
+        for f in dataclasses.fields(RunMetrics):
+            value = getattr(metrics, f.name)
+            assert ledger[f.name] == (list(value) if isinstance(value, list) else value)
+        # lists are copied, not aliased
+        ledger["per_superstep_messages"].append(99)
+        assert 99 not in metrics.per_superstep_messages
+
+    def test_summary_reports_retries_when_present(self):
+        from repro.pregel.runtime import RunMetrics
+
+        metrics = RunMetrics()
+        assert "retried" not in metrics.summary()
+        metrics.messages_retried = 3
+        metrics.retry_backoff_units = 7
+        assert "retried=3" in metrics.summary()
+        assert "backoff_units=7" in metrics.summary()
+
+
+class TestRestorePerSuperstepRecord:
+    """restore_state must keep per_superstep_messages in lockstep with the
+    restored superstep counter, even when ``record_per_superstep`` was
+    toggled between checkpoint and restore."""
+
+    def _checkpoint_at(self, step: int, *, record: bool) -> dict:
+        captured = {}
+
+        def vertex(ctx, vid, messages):
+            if vid == 0:
+                ctx.send(1, (0,))
+
+        def master(ctx):
+            if ctx.superstep == step:
+                captured["state"] = ctx.checkpoint_state()
+            if ctx.superstep == step + 1:
+                ctx.halt()
+
+        PregelEngine(
+            line_graph(2), vertex, master, record_per_superstep=record
+        ).run()
+        return captured["state"]
+
+    def test_round_trip_with_recording_on_both_sides(self):
+        state = self._checkpoint_at(3, record=True)
+        assert len(state["per_superstep_messages"]) == 3
+        twin = PregelEngine(
+            line_graph(2), lambda c, v, m: None, record_per_superstep=True
+        )
+        twin.restore_state(state)
+        assert twin.metrics.per_superstep_messages == state["per_superstep_messages"]
+
+    def test_recording_enabled_after_checkpoint_pads_with_zeros(self):
+        # checkpoint written without recording → restore into a recording
+        # engine pads the unknown early supersteps so later appends land at
+        # the right index
+        state = self._checkpoint_at(3, record=False)
+        assert state["per_superstep_messages"] == []
+        twin = PregelEngine(
+            line_graph(2), lambda c, v, m: None, record_per_superstep=True
+        )
+        twin.restore_state(state)
+        assert twin.metrics.per_superstep_messages == [0, 0, 0]
+
+    def test_recording_disabled_after_checkpoint_keeps_saved_record(self):
+        state = self._checkpoint_at(2, record=True)
+        twin = PregelEngine(line_graph(2), lambda c, v, m: None)
+        twin.restore_state(state)
+        assert twin.metrics.per_superstep_messages == state["per_superstep_messages"]
+
+    def test_impossible_record_length_raises(self):
+        state = self._checkpoint_at(2, record=True)
+        state["per_superstep_messages"] = [1, 2, 3, 4]  # > superstep: corrupt
+        twin = PregelEngine(
+            line_graph(2), lambda c, v, m: None, record_per_superstep=True
+        )
+        with pytest.raises(ValueError, match="more entries than completed"):
+            twin.restore_state(state)
+
 
 class TestDeterminism:
     def test_same_seed_same_random_sequence(self):
