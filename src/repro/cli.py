@@ -42,14 +42,34 @@ def _parse_value(text: str):
     return text
 
 
+def _die(message: str) -> "SystemExit":
+    """Usage error: one line on stderr, exit code 2 (argparse's convention),
+    never a traceback."""
+    print(f"gm-pregel: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _parse_args_list(pairs: list[str]) -> dict:
     out = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"--arg expects name=value, got '{pair}'")
+            raise _die(f"--arg expects name=value, got '{pair}'")
         name, value = pair.split("=", 1)
         out[name] = _parse_value(value)
     return out
+
+
+def _validate_run_shape(ns: argparse.Namespace) -> None:
+    """Range-check the numeric run parameters up front: out-of-range values
+    are usage errors (exit 2), not tracebacks from deep inside a run."""
+    if not 0.0 < ns.scale <= 16.0:
+        raise _die(f"--scale must be in (0, 16], got {ns.scale}")
+    if not 1 <= ns.workers <= 4096:
+        raise _die(f"--workers must be in [1, 4096], got {ns.workers}")
+    if getattr(ns, "checkpoint_every", 0) < 0:
+        raise _die(f"--checkpoint-every must be >= 0, got {ns.checkpoint_every}")
+    if getattr(ns, "max_restarts", 0) < 0:
+        raise _die(f"--max-restarts must be >= 0, got {ns.max_restarts}")
 
 
 def _cmd_compile(ns: argparse.Namespace) -> int:
@@ -74,15 +94,24 @@ def _cmd_compile(ns: argparse.Namespace) -> int:
 
 def _load_cli_graph(ns: argparse.Namespace):
     if ns.graph_file:
-        from .graphgen.io import load_edge_list
+        from .graphgen.io import GraphFormatError, load_edge_list
 
-        return load_edge_list(ns.graph_file)
+        try:
+            return load_edge_list(ns.graph_file)
+        except FileNotFoundError:
+            raise _die(f"--graph-file: no such file: {ns.graph_file}") from None
+        except GraphFormatError as exc:
+            raise _die(f"--graph-file: {exc}") from None
     return load_graph(ns.graph, ns.scale, ns.seed)
 
 
 def _build_fault_tolerance(ns: argparse.Namespace):
-    """A FaultTolerance manager from the CLI flags, or None when unused."""
-    if not ns.checkpoint_every and not ns.inject_fault:
+    """A FaultTolerance manager from the CLI flags, or None when unused.
+
+    ``--heartbeat`` implies fault tolerance (detection escalates into
+    checkpoint recovery), so supervision alone still gets a manager.
+    """
+    if not ns.checkpoint_every and not ns.inject_fault and not ns.heartbeat:
         return None
     from .pregel.ft import FaultPlan, FaultTolerance, parse_crash
 
@@ -95,12 +124,35 @@ def _build_fault_tolerance(ns: argparse.Namespace):
         for crash in plan.crashes:
             if crash.worker >= ns.workers:
                 raise ValueError(
-                    f"--inject-fault names worker {crash.worker} "
-                    f"but --workers is {ns.workers}"
+                    f"names worker {crash.worker} but --workers is {ns.workers}"
                 )
     except ValueError as exc:
-        raise SystemExit(f"gm-pregel run: {exc}")
+        raise _die(f"--inject-fault: {exc}") from None
     return FaultTolerance(plan)
+
+
+def _build_transport(ns: argparse.Namespace):
+    """A SimulatedTransport from ``--net-faults``, or None when unused."""
+    if not ns.net_faults:
+        return None
+    from .pregel.net import SimulatedTransport, parse_net_faults
+
+    try:
+        return SimulatedTransport(parse_net_faults(ns.net_faults))
+    except ValueError as exc:
+        raise _die(f"--net-faults: {exc}") from None
+
+
+def _build_supervisor(ns: argparse.Namespace):
+    """A Supervisor from ``--heartbeat``/``--max-restarts``, or None."""
+    if not ns.heartbeat:
+        return None
+    from .pregel.supervisor import Supervisor, parse_heartbeat
+
+    try:
+        return Supervisor(parse_heartbeat(ns.heartbeat, max_restarts=ns.max_restarts))
+    except ValueError as exc:
+        raise _die(f"--heartbeat: {exc}") from None
 
 
 def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
@@ -108,6 +160,7 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     and the engine when tracing is requested (or forced by the subcommand).
     Returns ``(graph, run, tracer)``; trace/metrics exports are written here
     so every run-shaped subcommand shares them."""
+    _validate_run_shape(ns)
     tracer = None
     if force_trace or ns.trace or ns.trace_chrome:
         from .obs import Tracer
@@ -117,6 +170,7 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     graph = _load_cli_graph(ns)
     result = compile_source(source, emit_java=False, tracer=tracer)
     args = _parse_args_list(ns.arg)
+    supervisor = _build_supervisor(ns)
     run = result.program.run(
         graph,
         args,
@@ -125,6 +179,8 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
         scheduling=ns.scheduling,
         ft=_build_fault_tolerance(ns),
         tracer=tracer,
+        transport=_build_transport(ns),
+        supervisor=supervisor,
     )
     if ns.metrics_json:
         Path(ns.metrics_json).write_text(
@@ -142,11 +198,11 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
                 f"chrome trace -> {ns.trace_chrome} (open in Perfetto)",
                 file=sys.stderr,
             )
-    return graph, run, tracer
+    return graph, run, tracer, supervisor
 
 
 def _cmd_run(ns: argparse.Namespace) -> int:
-    graph, run, _tracer = _execute_traced(ns)
+    graph, run, _tracer, supervisor = _execute_traced(ns)
     print(f"graph: {graph}")
     print(f"metrics: {run.metrics.summary()}")
     if run.metrics.faults_injected:
@@ -155,6 +211,30 @@ def _cmd_run(ns: argparse.Namespace) -> int:
             f"worker crash(es), {run.metrics.lost_supersteps} superstep(s) lost, "
             f"{run.metrics.recovery_replay_work} vertex computations replayed"
         )
+    if supervisor is not None:
+        report = supervisor.report()
+        if report["degraded"]:
+            # Graceful degradation: the restart budget ran out, so this is
+            # a *partial* result — say so structurally, don't raise.
+            print(
+                f"supervisor: DEGRADED (halt_reason=unrecoverable) after "
+                f"{report['restarts_used']}/{report['max_restarts']} restart(s); "
+                f"partial result covers {report['completed_supersteps']} superstep(s)"
+            )
+        else:
+            print(
+                f"supervisor: {report['restarts_used']} restart(s), "
+                f"{report['heartbeats_missed']} heartbeat(s) missed, "
+                f"{len(report['quarantined_workers'])} worker(s) quarantined, "
+                f"clock={report['clock_units']:.1f} units"
+            )
+        for detection in report["detections"]:
+            print(
+                f"supervisor: worker {detection['worker']} declared dead at "
+                f"superstep {detection['superstep']} after "
+                f"{detection['silence']:.2f} units of silence "
+                f"(phi={detection['phi']:.2f}) -> {detection['action']}"
+            )
     if run.result is not None:
         print(f"result: {run.result}")
     for name, column in run.outputs.items():
@@ -166,7 +246,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
 def _cmd_trace(ns: argparse.Namespace) -> int:
     from .obs import timeline_report
 
-    graph, run, tracer = _execute_traced(ns, force_trace=True)
+    graph, run, tracer, _supervisor = _execute_traced(ns, force_trace=True)
     print(f"graph: {graph}")
     print(timeline_report(tracer.events))
     print()
@@ -177,7 +257,7 @@ def _cmd_trace(ns: argparse.Namespace) -> int:
 def _cmd_profile(ns: argparse.Namespace) -> int:
     from .obs import profile_report
 
-    graph, run, tracer = _execute_traced(ns, force_trace=True)
+    graph, run, tracer, _supervisor = _execute_traced(ns, force_trace=True)
     print(f"graph: {graph}")
     print(profile_report(tracer.events))
     print()
@@ -186,6 +266,7 @@ def _cmd_profile(ns: argparse.Namespace) -> int:
 
 
 def _cmd_interp(ns: argparse.Namespace) -> int:
+    _validate_run_shape(ns)
     source = Path(ns.file).read_text()
     graph = _load_cli_graph(ns)
     args = _parse_args_list(ns.arg)
@@ -307,6 +388,31 @@ def main(argv: list[str] | None = None) -> int:
                 default="rollback",
                 help="recovery strategy: rollback replays every partition, "
                 "confined replays only the failed worker's partition",
+            )
+            p.add_argument(
+                "--net-faults",
+                metavar="SPEC",
+                help="route messages through a simulated faulty channel "
+                "hidden behind reliable exactly-once delivery, e.g. "
+                "'drop=0.05,dup=0.02,reorder=0.1,corrupt=0.01,seed=7' "
+                "(results stay bit-identical; the faults are metered)",
+            )
+            p.add_argument(
+                "--heartbeat",
+                metavar="SPEC",
+                help="supervise the run with heartbeat failure detection "
+                "and automatic recovery, e.g. "
+                "'interval=1,phi=4,deadline=5,crash=1@3,straggler=2,seed=5' "
+                "(crash=W@S schedules *silent* deaths the detector must "
+                "notice; implies fault tolerance)",
+            )
+            p.add_argument(
+                "--max-restarts",
+                type=int,
+                default=3,
+                metavar="N",
+                help="restart budget for detected failures; past it the run "
+                "degrades to a partial result with halt_reason=unrecoverable",
             )
             p.add_argument(
                 "--trace",

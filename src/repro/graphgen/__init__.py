@@ -7,11 +7,12 @@ from .generators import (
     uniform_random,
     web_like,
 )
-from .io import load_edge_list, save_edge_list
+from .io import GraphFormatError, load_edge_list, save_edge_list
 from .registry import TABLE1, GraphSpec, applicable_graphs, load_graph
 
 __all__ = [
     "TABLE1",
+    "GraphFormatError",
     "GraphSpec",
     "applicable_graphs",
     "attach_standard_props",

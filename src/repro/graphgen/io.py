@@ -16,6 +16,21 @@ from pathlib import Path
 from ..pregel.graph import Graph
 
 
+class GraphFormatError(ValueError):
+    """A graph file (or its property sidecar) is malformed.
+
+    Always carries *where*: ``path`` and, when the defect is on a specific
+    line, the 1-based ``lineno`` — so a bad byte in a million-edge file is a
+    one-line diagnosis, not a bare ``ValueError`` from deep inside parsing.
+    """
+
+    def __init__(self, path: Path, message: str, lineno: int | None = None):
+        self.path = Path(path)
+        self.lineno = lineno
+        where = f"{self.path}:{lineno}" if lineno is not None else str(self.path)
+        super().__init__(f"{where}: {message}")
+
+
 def save_edge_list(graph: Graph, path: str | Path, *, edge_props: list[str] | None = None) -> None:
     path = Path(path)
     names = edge_props if edge_props is not None else sorted(graph.edge_props)
@@ -41,27 +56,76 @@ def _fmt(value) -> str:
 
 
 def load_edge_list(path: str | Path) -> Graph:
+    """Load an edge-list graph, raising :class:`GraphFormatError` (with the
+    offending line number) on any malformed input: bad headers, non-integer
+    or negative vertex ids, edges dangling past the declared node count,
+    edge-property rows of the wrong width, and broken sidecar files."""
     path = Path(path)
     num_nodes: int | None = None
     prop_names: list[str] = []
     edges: list[tuple[int, int]] = []
     prop_values: list[list[float]] = []
     with path.open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
                 body = line[1:].strip()
                 if body.startswith("nodes:"):
-                    num_nodes = int(body.split(":", 1)[1])
+                    text = body.split(":", 1)[1].strip()
+                    try:
+                        num_nodes = int(text)
+                    except ValueError:
+                        raise GraphFormatError(
+                            path, f"invalid node count '{text}' in header", lineno
+                        ) from None
+                    if num_nodes < 0:
+                        raise GraphFormatError(
+                            path, f"negative node count {num_nodes} in header", lineno
+                        )
                 elif body.startswith("edge-props:"):
                     prop_names = body.split(":", 1)[1].split()
                 continue
             parts = line.split()
-            src, dst = int(parts[0]), int(parts[1])
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    path,
+                    f"edge line needs 'src dst', got {len(parts)} token(s): '{line}'",
+                    lineno,
+                )
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphFormatError(
+                    path, f"non-integer vertex id in edge '{parts[0]} {parts[1]}'", lineno
+                ) from None
+            if src < 0 or dst < 0:
+                raise GraphFormatError(
+                    path, f"negative vertex id in edge {src} -> {dst}", lineno
+                )
+            if num_nodes is not None and (src >= num_nodes or dst >= num_nodes):
+                raise GraphFormatError(
+                    path,
+                    f"dangling edge {src} -> {dst}: header declares "
+                    f"{num_nodes} nodes (valid ids 0..{num_nodes - 1})",
+                    lineno,
+                )
+            if prop_names and len(parts) - 2 != len(prop_names):
+                raise GraphFormatError(
+                    path,
+                    f"edge {src} -> {dst} carries {len(parts) - 2} property "
+                    f"value(s) but the header declares {len(prop_names)} "
+                    f"({' '.join(prop_names)})",
+                    lineno,
+                )
             edges.append((src, dst))
-            prop_values.append([_parse(x) for x in parts[2:]])
+            try:
+                prop_values.append([_parse(x) for x in parts[2:]])
+            except ValueError:
+                raise GraphFormatError(
+                    path, f"non-numeric edge-property value on edge {src} -> {dst}", lineno
+                ) from None
     if num_nodes is None:
         num_nodes = 1 + max((max(s, d) for s, d in edges), default=-1)
     edge_props = {
@@ -70,7 +134,23 @@ def load_edge_list(path: str | Path) -> Graph:
     graph = Graph.from_edges(num_nodes, edges, edge_props=edge_props or None)
     for side in path.parent.glob(path.name + ".prop.*"):
         name = side.name.rsplit(".prop.", 1)[1]
-        values = [_parse(line.strip()) for line in side.read_text().splitlines() if line.strip()]
+        values = []
+        for lineno, raw in enumerate(side.read_text().splitlines(), start=1):
+            text = raw.strip()
+            if not text:
+                continue
+            try:
+                values.append(_parse(text))
+            except ValueError:
+                raise GraphFormatError(
+                    side, f"non-numeric value '{text}' in node property '{name}'", lineno
+                ) from None
+        if len(values) != num_nodes:
+            raise GraphFormatError(
+                side,
+                f"node property '{name}' has {len(values)} value(s) for a "
+                f"{num_nodes}-node graph",
+            )
         graph.add_node_prop(name, values)
     return graph
 

@@ -1,5 +1,7 @@
 """Pregel/GPS runtime simulator: graph, BSP engine, global-objects map,
-fault tolerance (checkpointing, crash injection, recovery)."""
+fault tolerance (checkpointing, crash injection, recovery), simulated
+unreliable transport with reliable exactly-once delivery, and supervision
+(heartbeat failure detection, automatic recovery, straggler quarantine)."""
 
 from .ft import (
     Checkpointable,
@@ -11,7 +13,19 @@ from .ft import (
 )
 from .globalmap import GlobalObjectMap, GlobalOp, combine
 from .graph import Graph
+from .net import (
+    NetFaultPlan,
+    SimulatedTransport,
+    TransportError,
+    parse_net_faults,
+)
 from .runtime import PregelEngine, RunMetrics, default_message_size
+from .supervisor import (
+    PhiAccrualDetector,
+    Supervisor,
+    SupervisorPlan,
+    parse_heartbeat,
+)
 
 __all__ = [
     "Checkpointable",
@@ -22,9 +36,17 @@ __all__ = [
     "GlobalObjectMap",
     "GlobalOp",
     "Graph",
+    "NetFaultPlan",
+    "PhiAccrualDetector",
     "PregelEngine",
     "RunMetrics",
+    "SimulatedTransport",
+    "Supervisor",
+    "SupervisorPlan",
+    "TransportError",
     "combine",
     "default_message_size",
     "parse_crash",
+    "parse_heartbeat",
+    "parse_net_faults",
 ]

@@ -174,6 +174,10 @@ class FaultTolerance:
         self._checkpoints: list[tuple[int, bytes]] = []
         self._pending = sorted(plan.crashes, key=lambda c: c.superstep)
         self._rng = random.Random(plan.seed)
+        #: set by the supervisor: heartbeat-detected failures need a
+        #: recovery point even when no crash is *scheduled*, so the initial
+        #: superstep-0 checkpoint is forced regardless of ``crashes``.
+        self.force_initial_checkpoint = False
         # Confined recovery replays a partition from what the healthy side
         # already knows: the messages delivered each superstep and the
         # master's broadcast map each superstep (keyed by superstep number,
@@ -210,7 +214,9 @@ class FaultTolerance:
         engine = self._engine
         step = engine.superstep
         every = self.plan.checkpoint_every
-        due = (every > 0 and step % every == 0) or (step == 0 and self._pending)
+        due = (every > 0 and step % every == 0) or (
+            step == 0 and (self._pending or self.force_initial_checkpoint)
+        )
         if due:
             self._take_checkpoint()
         # Re-read the superstep each time: a rollback rewinds it, and any
@@ -294,7 +300,30 @@ class FaultTolerance:
 
     # -- recovery --------------------------------------------------------
 
-    def _recover(self, crash: CrashEvent) -> None:
+    def recover_worker(
+        self, worker: int, partitions: Sequence[int] | None = None
+    ) -> None:
+        """Detector-driven recovery: the supervisor detected (rather than
+        pre-declared) that ``worker`` died at the current barrier.
+
+        ``partitions`` lists the logical partitions the dead worker was
+        *hosting* (after straggler quarantine a worker can host partitions
+        other than its own); confined recovery replays each of them.
+        ``None`` means the worker hosted only its own partition.
+        """
+        engine = self._engine
+        self._recover(
+            CrashEvent(worker, engine.superstep),
+            partitions=partitions,
+            source="detected",
+        )
+
+    def _recover(
+        self,
+        crash: CrashEvent,
+        partitions: Sequence[int] | None = None,
+        source: str = "scheduled",
+    ) -> None:
         engine = self._engine
         if not self._checkpoints:
             raise RuntimeError(
@@ -316,6 +345,7 @@ class FaultTolerance:
                     "superstep": crash.superstep,
                     "checkpoint_superstep": ckpt_step,
                     "lost_supersteps": lost,
+                    "source": source,
                 },
             )
         t0 = time.perf_counter()
@@ -328,7 +358,10 @@ class FaultTolerance:
             # Every partition re-executes the lost supersteps.
             metrics.recovery_replay_work += lost * engine.graph.num_nodes
         else:
-            self._confined_recover(crash.worker, ckpt_step, payload)
+            for partition in (
+                partitions if partitions is not None else (crash.worker,)
+            ):
+                self._confined_recover(partition, ckpt_step, payload)
         if tracer is not None:
             tracer.event(
                 "ft.recovery",
@@ -339,6 +372,7 @@ class FaultTolerance:
                     "from_superstep": ckpt_step,
                     "replay_work": metrics.recovery_replay_work - replay_before,
                     "seconds": time.perf_counter() - t0,
+                    "source": source,
                 },
             )
 

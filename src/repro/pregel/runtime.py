@@ -55,6 +55,8 @@ from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ft import FaultTolerance
+    from .net import SimulatedTransport
+    from .supervisor import Supervisor
     from ..obs.tracer import Tracer
 
 from .globalmap import GlobalObjectMap, GlobalOp
@@ -114,6 +116,24 @@ class RunMetrics:
     #: retry, and the exponential-backoff units those retries cost.
     messages_retried: int = 0
     retry_backoff_units: int = 0
+    # -- simulated transport (repro.pregel.net) --------------------------
+    #: channel faults inflicted on the wire and absorbed by the reliable
+    #: delivery protocol: attempts dropped in flight, duplicate arrivals
+    #: discarded by the dedup table, out-of-order arrivals parked in the
+    #: reorder buffer, corrupt arrivals caught by the checksum.  None of
+    #: these reach results — they cost retransmissions and backoff.
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    messages_corrupted: int = 0
+    packets_retransmitted: int = 0
+    net_backoff_units: int = 0
+    # -- supervision (repro.pregel.supervisor) ---------------------------
+    #: heartbeats the failure detector missed before declaring workers
+    #: dead, detector-driven restarts, and stragglers quarantined.
+    heartbeats_missed: int = 0
+    restarts: int = 0
+    workers_quarantined: int = 0
 
     def makespan_inflation(self) -> float:
         """makespan / perfectly-balanced makespan (1.0 = no imbalance)."""
@@ -174,6 +194,25 @@ class RunMetrics:
                 f" | net: retried={self.messages_retried} "
                 f"backoff_units={self.retry_backoff_units}"
             )
+        if (
+            self.messages_dropped
+            or self.messages_duplicated
+            or self.messages_reordered
+            or self.messages_corrupted
+        ):
+            text += (
+                f" | transport: dropped={self.messages_dropped} "
+                f"duplicated={self.messages_duplicated} "
+                f"reordered={self.messages_reordered} "
+                f"corrupted={self.messages_corrupted} "
+                f"retransmitted={self.packets_retransmitted} "
+                f"backoff_units={self.net_backoff_units}"
+            )
+        if self.heartbeats_missed or self.restarts or self.workers_quarantined:
+            text += (
+                f" | supervisor: heartbeats_missed={self.heartbeats_missed} "
+                f"restarts={self.restarts} quarantined={self.workers_quarantined}"
+            )
         return text
 
 
@@ -207,6 +246,8 @@ class PregelEngine:
         scheduling: str = "frontier",
         frontier_threshold: float = 0.25,
         tracer: "Tracer | None" = None,
+        transport: "SimulatedTransport | None" = None,
+        supervisor: "Supervisor | None" = None,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -288,6 +329,22 @@ class PregelEngine:
         self._ft_replaying = False
         if ft is not None:
             ft.attach(self)
+        # Simulated transport (repro.pregel.net): when present, every
+        # barrier's per-destination-worker message batches are routed
+        # through its reliable delivery protocol; None keeps the direct
+        # in-memory hand-off (the untouched fast path).
+        self._transport = transport
+        if transport is not None:
+            transport.attach(self)
+        # Supervision (repro.pregel.supervisor): heartbeat failure
+        # detection at every superstep boundary, escalating into the FT
+        # manager's recovery — attach() enforces that pairing.  A detected
+        # failure past the restart budget sets ``_abort_reason`` and the
+        # run degrades to a partial result with that halt_reason.
+        self._supervisor = supervisor
+        self._abort_reason: str | None = None
+        if supervisor is not None:
+            supervisor.attach(self)
         # Observability (repro.obs): ``tracer=None`` (or a disabled tracer)
         # leaves the hot loops untouched — instrumentation is installed by
         # run() only when the tracer records (see _install_tracing).
@@ -650,10 +707,21 @@ class PregelEngine:
         n = graph.num_nodes
         voted = self._voted
         ft = self.ft
+        supervisor = self._supervisor
+        transport = self._transport
         batched = self._batched
         threshold = max(1, int(self._frontier_threshold * n))
         halt_reason = "max_supersteps"
         while self.superstep < self._max_supersteps:
+            # Supervision boundary (before the FT hook: detection must see
+            # the barrier the workers just crossed, and recovery needs the
+            # checkpoint the FT hook's *previous* visits produced).  A
+            # detected failure past the restart budget degrades the run.
+            if supervisor is not None:
+                supervisor.on_superstep_start()
+                if self._abort_reason is not None:
+                    halt_reason = self._abort_reason
+                    break
             # Fault-tolerance boundary: checkpoint if due, then inject any
             # scheduled crash (recovery may rewind ``self.superstep``).
             if ft is not None:
@@ -670,6 +738,12 @@ class PregelEngine:
                 s_net_bytes = _m.net_bytes
                 s_broadcasts = _m.broadcast_values
                 s_worker_sent = list(_m.worker_sent)
+                if transport is not None:
+                    s_dropped = _m.messages_dropped
+                    s_duplicated = _m.messages_duplicated
+                    s_reordered = _m.messages_reordered
+                    s_corrupted = _m.messages_corrupted
+                    s_retransmitted = _m.packets_retransmitted
                 tw_computed = self._trace_worker_computed
                 tw_seconds = self._trace_worker_seconds
                 tw_bytes = self._trace_worker_bytes
@@ -703,15 +777,44 @@ class PregelEngine:
                 touched.clear()
                 slots = self._inbox_slots
                 receiving = touched.append
-                for part in incoming:
-                    if part:
-                        for dst, msgs in part.items():
-                            slots[dst] = msgs
-                            receiving(dst)
-                        part.clear()
+                if transport is None:
+                    for part in incoming:
+                        if part:
+                            for dst, msgs in part.items():
+                                slots[dst] = msgs
+                                receiving(dst)
+                            part.clear()
+                else:
+                    # Each destination worker's batch crosses the simulated
+                    # channel; the reliable protocol hands back the exact
+                    # sent stream (faults cost retransmissions, not data).
+                    for wid, part in enumerate(incoming):
+                        if part:
+                            for dst, msgs in transport.route_part(wid, part).items():
+                                slots[dst] = msgs
+                                receiving(dst)
+                            part.clear()
             else:
                 self._inbox, self._outbox = self._outbox, {}
                 inbox = self._inbox
+                if transport is not None and inbox:
+                    # Dense mode stages one flat outbox; group it into
+                    # per-destination-worker batches (ascending worker id,
+                    # matching frontier mode's routing order) and route
+                    # each across the simulated channel.
+                    worker_of_ = self._worker_of
+                    parts: dict[int, dict[int, list]] = {}
+                    for dst, msgs in inbox.items():
+                        wid = worker_of_[dst]
+                        bucket = parts.get(wid)
+                        if bucket is None:
+                            parts[wid] = {dst: msgs}
+                        else:
+                            bucket[dst] = msgs
+                    merged: dict[int, list] = {}
+                    for wid in sorted(parts):
+                        merged.update(transport.route_part(wid, parts[wid]))
+                    self._inbox = inbox = merged
 
             # Scheduling: build this superstep's frontier (frontier mode
             # with voting), or just run the voting halt check (dense mode).
@@ -756,6 +859,23 @@ class PregelEngine:
             if traced:
                 t_now = time.perf_counter()
                 route_s, t_phase = t_now - t_phase, t_now
+                if transport is not None:
+                    # Info-only (like ft.*): faulted traces must project to
+                    # the same deterministic stream as failure-free ones.
+                    _m = self.metrics
+                    tracer.event(
+                        "net.route",
+                        cat="net",
+                        info={
+                            "step": self.superstep,
+                            "dropped": _m.messages_dropped - s_dropped,
+                            "duplicated": _m.messages_duplicated - s_duplicated,
+                            "reordered": _m.messages_reordered - s_reordered,
+                            "corrupted": _m.messages_corrupted - s_corrupted,
+                            "retransmitted": _m.packets_retransmitted - s_retransmitted,
+                            "route_s": route_s,
+                        },
+                    )
 
             before = self.metrics.messages
             compute = self._vertex_compute

@@ -1,0 +1,72 @@
+"""Seeded chaos fuzz: randomized loss × dup × reorder × crash matrices.
+
+Each seed deterministically expands into a fault mix (``draw_case``); the
+case runs against a clean baseline of the same workload and must come back
+bit-identical with internally-consistent fault counters (``run_case``).
+
+The quick slice below is tier-1.  The ISSUE's ~50-seed sweep is
+``@pytest.mark.slow`` and opt-in via ``REPRO_CHAOS=1`` (the CI ``chaos``
+job runs it); locally:
+
+    REPRO_CHAOS=1 PYTHONPATH=src python -m pytest -m slow tests/test_chaos_fuzz.py
+"""
+
+import os
+
+import pytest
+
+from repro.bench.chaos import chaos_matrix, chaos_report, draw_case, run_case
+
+QUICK_SEEDS = range(8)
+SWEEP_SEEDS = range(50)
+
+
+def _assert_all_ok(results):
+    bad = [r for r in results if not r.ok]
+    assert not bad, "\n" + chaos_report(bad)
+
+
+def test_draw_case_is_deterministic():
+    assert draw_case(17) == draw_case(17)
+    # the matrix rotates algorithm and recovery across seeds
+    assert {draw_case(s).algorithm for s in range(8)} == {
+        "pagerank", "sssp", "bipartite_matching", "bc_approx"
+    }
+    assert {draw_case(s).recovery for s in range(8)} == {"rollback", "confined"}
+
+
+def test_some_seeds_draw_crashes_and_faults():
+    cases = [draw_case(s) for s in SWEEP_SEEDS]
+    assert any(c.crash is not None for c in cases)
+    assert any(c.crash is None for c in cases)
+    assert any(c.net_plan.drop_rate > 0 for c in cases)
+    assert any(not c.net_plan.lossy for c in cases)
+
+
+def test_quick_matrix():
+    _assert_all_ok(chaos_matrix(QUICK_SEEDS, scale=0.25))
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS"),
+    reason="long sweep; set REPRO_CHAOS=1 to enable",
+)
+def test_full_sweep():
+    results = chaos_matrix(SWEEP_SEEDS, scale=0.25)
+    # the long sweep must exercise both halves of the matrix for real
+    assert sum(r.detected for r in results) >= 10
+    assert sum(r.messages_dropped > 0 for r in results) >= 10
+    _assert_all_ok(results)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS"),
+    reason="long sweep; set REPRO_CHAOS=1 to enable",
+)
+def test_hostile_rates_sweep():
+    # crank every rate toward the validation ceiling on a handful of seeds
+    for seed in range(60, 66):
+        result = run_case(draw_case(seed, max_rate=0.6), scale=0.25)
+        assert result.ok, result.violations

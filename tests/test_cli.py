@@ -165,3 +165,159 @@ class TestArgParsing:
     def test_malformed_arg(self):
         with pytest.raises(SystemExit):
             main(["run", gm("pagerank"), "--arg", "notanassignment"])
+
+
+PAGERANK_ARGS = ["--arg", "e=1e-9", "--arg", "d=0.85", "--arg", "max_iter=3"]
+
+
+def _usage_error(capsys, argv) -> str:
+    """Run argv, assert the exit-2 one-line contract, return the message."""
+    with pytest.raises(SystemExit) as err:
+        main(argv)
+    assert err.value.code == 2
+    stderr = capsys.readouterr().err
+    assert stderr.startswith("gm-pregel: error:")
+    assert stderr.count("\n") == 1  # one line, no traceback
+    return stderr
+
+
+class TestUsageErrors:
+    """Malformed flags die with exit code 2 and a one-line message."""
+
+    def test_malformed_inject_fault(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--checkpoint-every", "2", "--inject-fault", "banana"],
+        )
+        assert "--inject-fault" in msg
+
+    @pytest.mark.parametrize("scale", ["0", "-1", "17"])
+    def test_out_of_range_scale(self, capsys, scale):
+        msg = _usage_error(
+            capsys, ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", scale]
+        )
+        assert "--scale" in msg
+
+    @pytest.mark.parametrize("workers", ["0", "-2", "5000"])
+    def test_out_of_range_workers(self, capsys, workers):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--workers", workers],
+        )
+        assert "--workers" in msg
+
+    def test_interp_validates_shape_too(self, capsys):
+        _usage_error(
+            capsys, ["interp", gm("avg_teen_cnt"), "--arg", "K=30", "--scale", "0"]
+        )
+
+    def test_malformed_arg_message(self, capsys):
+        msg = _usage_error(
+            capsys, ["run", gm("pagerank"), "--arg", "notanassignment"]
+        )
+        assert "notanassignment" in msg
+
+    def test_bad_net_faults_spec(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--net-faults", "drop=everything"],
+        )
+        assert "--net-faults" in msg
+
+    def test_bad_heartbeat_spec(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--heartbeat", "phi=verysuspicious"],
+        )
+        assert "--heartbeat" in msg
+
+    def test_negative_max_restarts(self, capsys):
+        _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--heartbeat", "", "--max-restarts", "-1"],
+        )
+
+    def test_missing_graph_file(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS,
+             "--graph-file", "/no/such/graph.txt"],
+        )
+        assert "graph.txt" in msg
+
+    def test_corrupt_graph_file_reports_line(self, capsys, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("# nodes: 3\n0 1\n1 nine\n")
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--graph-file", str(bad)],
+        )
+        assert f"{bad}:3:" in msg
+
+
+class TestNetAndSupervisorFlags:
+    def test_net_faults_run_meters_and_roundtrips_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--net-faults", "drop=0.1,dup=0.05,reorder=0.1,seed=7",
+             "--metrics-json", str(path)],
+        )
+        assert code == 0
+        ledger = json.loads(path.read_text())
+        assert ledger["messages_dropped"] > 0
+        assert ledger["messages_duplicated"] > 0
+        assert ledger["packets_retransmitted"] > 0
+        assert "transport: dropped=" in capsys.readouterr().out
+
+    def test_heartbeat_detected_crash_prints_supervisor_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--checkpoint-every", "2", "--heartbeat", "crash=1@2",
+             "--metrics-json", str(path)],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supervisor: worker 1 declared dead at superstep 2" in out
+        assert "-> restarted" in out
+        ledger = json.loads(path.read_text())
+        assert ledger["restarts"] == 1
+        assert ledger["heartbeats_missed"] > 0
+
+    def test_exhausted_restart_budget_degrades(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--checkpoint-every", "2", "--heartbeat", "crash=1@2",
+             "--max-restarts", "0", "--metrics-json", str(path)],
+        )
+        assert code == 0  # degraded, not dead: partial results still report
+        out = capsys.readouterr().out
+        assert "supervisor: DEGRADED (halt_reason=unrecoverable)" in out
+        assert json.loads(path.read_text())["halt_reason"] == "unrecoverable"
+
+    def test_trace_carries_net_and_supervisor_events(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--checkpoint-every", "2", "--net-faults", "drop=0.1,seed=7",
+             "--heartbeat", "crash=1@2", "--trace", str(path)],
+        )
+        assert code == 0
+        names = [e["name"] for e in load_jsonl(path)]
+        assert "net.route" in names
+        assert "supervisor.suspect" in names and "supervisor.restart" in names

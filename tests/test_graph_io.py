@@ -1,0 +1,122 @@
+"""Edge-list loader hardening: every malformed input — corrupt headers,
+bad vertex ids, dangling edges, torn property rows, broken sidecars —
+raises :class:`GraphFormatError` pointing at the offending line, never a
+bare ``ValueError`` from deep inside parsing."""
+
+import pytest
+
+from repro.graphgen import GraphFormatError
+from repro.graphgen.io import load_edge_list, save_edge_list
+from repro.pregel import Graph
+
+
+def _write(tmp_path, text, name="g.txt"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def _error(tmp_path, text):
+    path = _write(tmp_path, text)
+    with pytest.raises(GraphFormatError) as err:
+        load_edge_list(path)
+    return path, err.value
+
+
+class TestCorruptFixtures:
+    def test_bad_header_count(self, tmp_path):
+        path, err = _error(tmp_path, "# nodes: lots\n0 1\n")
+        assert err.lineno == 1
+        assert str(err).startswith(f"{path}:1:")
+        assert "invalid node count 'lots'" in str(err)
+
+    def test_negative_header_count(self, tmp_path):
+        _, err = _error(tmp_path, "# nodes: -4\n")
+        assert err.lineno == 1
+        assert "negative node count" in str(err)
+
+    def test_short_edge_line(self, tmp_path):
+        _, err = _error(tmp_path, "# nodes: 3\n0 1\n2\n")
+        assert err.lineno == 3
+        assert "needs 'src dst'" in str(err)
+
+    def test_non_integer_vertex_id(self, tmp_path):
+        _, err = _error(tmp_path, "0 1\n1 two\n")
+        assert err.lineno == 2
+        assert "non-integer vertex id" in str(err)
+
+    def test_float_vertex_id_rejected(self, tmp_path):
+        _, err = _error(tmp_path, "0.5 1\n")
+        assert err.lineno == 1
+
+    def test_negative_vertex_id(self, tmp_path):
+        _, err = _error(tmp_path, "0 1\n-1 2\n")
+        assert err.lineno == 2
+        assert "negative vertex id" in str(err)
+
+    def test_dangling_edge_past_declared_count(self, tmp_path):
+        _, err = _error(tmp_path, "# nodes: 3\n0 1\n1 3\n")
+        assert err.lineno == 3
+        assert "dangling edge 1 -> 3" in str(err)
+        assert "valid ids 0..2" in str(err)
+
+    def test_edge_prop_width_mismatch(self, tmp_path):
+        _, err = _error(
+            tmp_path, "# nodes: 2\n# edge-props: w cap\n0 1 3.5\n"
+        )
+        assert err.lineno == 3
+        assert "1 property value(s)" in str(err)
+        assert "declares 2" in str(err)
+
+    def test_non_numeric_edge_prop(self, tmp_path):
+        _, err = _error(
+            tmp_path, "# nodes: 2\n# edge-props: w\n0 1 heavy\n"
+        )
+        assert err.lineno == 3
+        assert "non-numeric edge-property" in str(err)
+
+    def test_sidecar_non_numeric_value(self, tmp_path):
+        path = _write(tmp_path, "# nodes: 2\n0 1\n")
+        side = tmp_path / "g.txt.prop.rank"
+        side.write_text("0.5\noops\n")
+        with pytest.raises(GraphFormatError) as err:
+            load_edge_list(path)
+        assert err.value.lineno == 2
+        assert str(err.value).startswith(f"{side}:2:")
+        assert "node property 'rank'" in str(err.value)
+
+    def test_sidecar_length_mismatch(self, tmp_path):
+        path = _write(tmp_path, "# nodes: 3\n0 1\n1 2\n")
+        (tmp_path / "g.txt.prop.rank").write_text("0.5\n0.5\n")
+        with pytest.raises(GraphFormatError) as err:
+            load_edge_list(path)
+        assert err.value.lineno is None
+        assert "2 value(s) for a 3-node graph" in str(err.value)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # callers that caught ValueError before the subclass existed still work
+        path = _write(tmp_path, "0 x\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestWellFormedInput:
+    def test_round_trip(self, tmp_path):
+        graph = Graph.from_edges(
+            3, [(0, 1), (1, 2), (2, 0)], edge_props={"w": [1.0, 2.0, 3.5]}
+        )
+        graph.add_node_prop("rank", [0.1, 0.2, 0.3])
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == 3
+        assert loaded.edge_props["w"] == [1.0, 2.0, 3.5]
+        assert loaded.node_props["rank"] == [0.1, 0.2, 0.3]
+
+    def test_header_optional(self, tmp_path):
+        path = _write(tmp_path, "0 1\n1 2\n")
+        assert load_edge_list(path).num_nodes == 3
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = _write(tmp_path, "# nodes: 2\n\n# a comment\n0 1\n")
+        assert load_edge_list(path).num_nodes == 2
