@@ -1,0 +1,90 @@
+"""Memory-budget benchmarks — fast-path ceiling + min-budget/spill table.
+
+Three jobs, wired into the CI ``chaos`` job:
+
+* ``test_mem_fast_path_overhead`` is the ISSUE's ≤5% ceiling: attaching a
+  metered-but-unlimited ``MemoryManager`` must stay within 5% of running
+  with ``mem=None``, measured best-of-N interleaved.
+* ``test_min_budget_sweep`` binary-searches the smallest completing budget
+  for PageRank and BFS on the skewed hub graph, then measures spill volume
+  and slowdown at multiples of that minimum — every point bit-identical to
+  the unlimited baseline.  The table lands in
+  ``benchmarks/reports/mem_budget.txt`` (quoted by EXPERIMENTS.md).
+* ``test_mem_report_artifact`` runs PageRank at a third of its observed
+  peak and writes the structured memory report CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import mem_overhead, mem_report_artifact, min_budget_sweep
+
+from conftest import emit_report
+
+
+def test_mem_fast_path_overhead(benchmark, scale, report_dir):
+    benchmark.pedantic(
+        lambda: _fast_path(scale, report_dir), rounds=1, iterations=1
+    )
+
+
+def _fast_path(scale, report_dir):
+    stats = mem_overhead(scale, repeats=7)
+    emit_report(
+        report_dir,
+        "mem_overhead",
+        "Metered-but-unlimited MemoryManager vs mem=None "
+        "(PageRank/skewed, best of 7, interleaved)\n"
+        f"  mem=None           : {stats['direct_s'] * 1e3:8.2f} ms\n"
+        f"  unlimited budget   : {stats['metered_s'] * 1e3:8.2f} ms\n"
+        f"  ratio              : {stats['overhead_ratio']:.4f}  (budget < 1.05)",
+    )
+    assert stats["overhead_ratio"] < 1.05, stats
+
+
+def test_min_budget_sweep(benchmark, scale, report_dir):
+    benchmark.pedantic(
+        lambda: _budget_sweep(scale, report_dir), rounds=1, iterations=1
+    )
+
+
+def _budget_sweep(scale, report_dir):
+    rows = min_budget_sweep(scale=min(scale, 0.25), repeats=3)
+    assert rows and all(row.identical for row in rows), [
+        (row.algorithm, row.label) for row in rows if not row.identical
+    ]
+    lines = [
+        "Minimum completing budget and spill overhead vs budget",
+        "(skewed hub graph, 4 workers; budgets are multiples of the",
+        " binary-searched minimum; every row bit-identical to unlimited)",
+        "",
+        f"{'algorithm':>9} {'budget':>9} {'min':>8} {'peak':>9} "
+        f"{'spilled':>9} {'files':>5} {'splits':>6} {'parks':>6} "
+        f"{'cpu(ms)':>9} {'slowdown':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:>9} {row.budget_bytes:>9} "
+            f"{row.min_budget_bytes:>8} {row.unlimited_peak_bytes:>9} "
+            f"{row.spilled_bytes:>9} {row.spill_files:>5} "
+            f"{row.superstep_splits:>6} {row.outbox_parks:>6} "
+            f"{row.wall_seconds * 1e3:>9.2f} {row.slowdown:>8.2f}"
+        )
+    emit_report(report_dir, "mem_budget", "\n".join(lines))
+
+
+def test_mem_report_artifact(benchmark, scale, report_dir):
+    benchmark.pedantic(
+        lambda: _mem_report(scale, report_dir), rounds=1, iterations=1
+    )
+
+
+def _mem_report(scale, report_dir):
+    report = mem_report_artifact(min(scale, 0.25))
+    assert report["halt_reason"] != "out_of_memory", report
+    assert report["spilled_bytes"] > 0, report
+    (report_dir / "mem_report.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit_report(report_dir, "mem_report", json.dumps(report, indent=2))

@@ -34,13 +34,15 @@ CHAOS_ALGORITHMS = ("pagerank", "sssp", "bipartite_matching", "bc_approx")
 @dataclass(frozen=True)
 class ChaosCase:
     """One drawn fault mix: a transport plan plus (optionally) a silent
-    crash the supervisor must detect."""
+    crash the supervisor must detect and (optionally) a per-worker memory
+    budget forcing spill/backpressure under the same faults."""
 
     seed: int
     algorithm: str
     recovery: str
     net_plan: NetFaultPlan
     crash: CrashEvent | None
+    mem_budget: int | None = None
 
     def describe(self) -> str:
         p = self.net_plan
@@ -49,10 +51,12 @@ class ChaosCase:
             if self.crash
             else "crash=none"
         )
+        mem = f"mem={self.mem_budget}" if self.mem_budget else "mem=unlimited"
         return (
             f"seed={self.seed} {self.algorithm}/{self.recovery} "
             f"drop={p.drop_rate:.2f} dup={p.dup_rate:.2f} "
-            f"reorder={p.reorder_rate:.2f} corrupt={p.corrupt_rate:.2f} {crash}"
+            f"reorder={p.reorder_rate:.2f} corrupt={p.corrupt_rate:.2f} "
+            f"{crash} {mem}"
         )
 
 
@@ -67,6 +71,8 @@ class ChaosResult:
     messages_corrupted: int
     heartbeats_missed: int
     restarts: int
+    spilled_bytes: int = 0
+    superstep_splits: int = 0
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -103,7 +109,13 @@ def draw_case(
         # Silent death at an early-to-mid superstep on a random worker; the
         # exact superstep is clamped to the run's length by run_case.
         crash = CrashEvent(worker=rng.randrange(4), superstep=2 + rng.randrange(6))
-    return ChaosCase(seed, algorithm, recovery, net_plan, crash)
+    mem_budget = None
+    if rng.random() < 0.4:
+        # Tight-but-satisfiable budget (64K–512K): forces spilling and
+        # superstep splits on these workloads without tripping OOM, so the
+        # parity invariant keeps holding under the memory axis too.
+        mem_budget = 1 << rng.randrange(16, 20)
+    return ChaosCase(seed, algorithm, recovery, net_plan, crash, mem_budget)
 
 
 def run_case(
@@ -128,6 +140,11 @@ def run_case(
     supervisor = Supervisor(
         SupervisorPlan(silent_crashes=(crash,) if crash else (), seed=case.seed)
     )
+    mem = None
+    if case.mem_budget:
+        from ..pregel.mem import MemoryManager, MemPlan
+
+        mem = MemoryManager(MemPlan(budget_bytes=case.mem_budget))
     run = program.run(
         graph,
         args,
@@ -137,6 +154,7 @@ def run_case(
         ),
         transport=transport,
         supervisor=supervisor,
+        mem=mem,
     )
 
     m = run.metrics
@@ -173,6 +191,15 @@ def run_case(
         violations.append("scripted silent crash never detected")
     if crash is None and m.restarts != 0:
         violations.append("restart without a scripted crash")
+    # Memory-budget invariants: without a budget the mem counters must stay
+    # zero; with one the run must still complete (the drawn budgets are
+    # satisfiable for these workloads) and never exceed out-of-memory.
+    if case.mem_budget is None and (
+        m.spilled_bytes or m.outbox_parks or m.superstep_splits or m.mem_peak_bytes
+    ):
+        violations.append("mem counters fired without a budget")
+    if case.mem_budget is not None and m.halt_reason == "out_of_memory":
+        violations.append(f"satisfiable budget {case.mem_budget} hit OOM")
 
     identical = (
         run.outputs == baseline.outputs
@@ -188,6 +215,8 @@ def run_case(
         messages_corrupted=m.messages_corrupted,
         heartbeats_missed=m.heartbeats_missed,
         restarts=m.restarts,
+        spilled_bytes=m.spilled_bytes,
+        superstep_splits=m.superstep_splits,
         violations=violations,
     )
 
@@ -217,7 +246,8 @@ def chaos_report(results: list[ChaosResult]) -> str:
             f"  [{status}] {r.case.describe()} -> "
             f"dropped={r.messages_dropped} dup={r.messages_duplicated} "
             f"reordered={r.messages_reordered} corrupted={r.messages_corrupted} "
-            f"hb_missed={r.heartbeats_missed} restarts={r.restarts}"
+            f"hb_missed={r.heartbeats_missed} restarts={r.restarts} "
+            f"spilled={r.spilled_bytes} splits={r.superstep_splits}"
             + (f"  !! {'; '.join(r.violations)}" if r.violations else "")
         )
     return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Memory-budget benchmarks: fast-path ceiling + min-budget/spill sweep.
+
+Two jobs, wired into the CI ``chaos`` job via ``benchmarks/bench_mem.py``:
+
+* :func:`mem_overhead` is the ISSUE's ≤5% ceiling: attaching a
+  *metered-but-unlimited* :class:`~repro.pregel.MemoryManager` must stay
+  within 5% of running with ``mem=None``, measured best-of-N interleaved.
+  An unlimited manager never installs its hooks, so the engine's hot loops
+  pay exactly one flag check — this measures that claim.
+* :func:`min_budget_sweep` binary-searches the smallest completing budget
+  for PageRank and BFS on the skewed hub graph (the memory-pressure
+  adversary), then measures spill volume and wall-clock slowdown at
+  multiples of that minimum — every point bit-identical to the unlimited
+  baseline.  The table lands in ``benchmarks/reports/mem_budget.txt``
+  (quoted by EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+
+from ..algorithms.manual import MANUAL_PROGRAMS, ManualBFS
+from ..graphgen import attach_standard_props, skewed
+from ..pregel import MemPlan, MemoryManager
+from .harness import default_args, max_out_degree_root
+
+#: The sweep's workloads: the per-edge flooder and the frontier algorithm.
+MEM_SWEEP_ALGORITHMS = ("pagerank", "bfs")
+
+#: Budgets measured, as multiples of the binary-searched minimum.
+MEM_SWEEP_MULTIPLES = (1.0, 1.5, 2.0, 4.0)
+
+
+def _sweep_program(algorithm: str):
+    return ManualBFS() if algorithm == "bfs" else MANUAL_PROGRAMS[algorithm]
+
+
+def _skewed_graph(scale: float):
+    """The adversary workload: power-law degrees plus a forced full-degree
+    hub, so one vertex's inbox dominates the budget floor."""
+    num_nodes = max(200, int(3200 * scale))
+    graph = skewed(num_nodes, 8, seed=7)
+    attach_standard_props(graph, seed=2)
+    return graph
+
+
+def mem_overhead(
+    scale: float = 0.5, *, workers: int = 4, repeats: int = 7
+) -> dict:
+    """Wall-time with a metered-but-unlimited MemoryManager attached,
+    relative to ``mem=None``, best-of-``repeats`` interleaved — the ≤5%
+    fast-path ceiling CI enforces."""
+    graph = _skewed_graph(scale)
+    program = MANUAL_PROGRAMS["pagerank"]
+    args = default_args("pagerank", graph)
+    # Untimed warmups, one per path, so neither side pays first-run costs.
+    program.run(graph, args, num_workers=workers)
+    program.run(graph, args, num_workers=workers, mem=MemoryManager(MemPlan()))
+    # CPU time, not wall clock: the simulator is single-threaded, and a ±5%
+    # assertion on a ~100ms workload drowns in container scheduling jitter.
+    direct_best = metered_best = float("inf")
+    for _ in range(repeats):
+        gc.collect()  # don't bill one side for the other's garbage
+        t0 = time.process_time()
+        base = program.run(graph, args, num_workers=workers)
+        direct_best = min(direct_best, time.process_time() - t0)
+        mem = MemoryManager(MemPlan())  # one manager per run, unlimited
+        gc.collect()
+        t0 = time.process_time()
+        run = program.run(graph, args, num_workers=workers, mem=mem)
+        metered_best = min(metered_best, time.process_time() - t0)
+        assert run.outputs == base.outputs
+        assert run.metrics.parity_key() == base.metrics.parity_key()
+    return {
+        "direct_s": direct_best,
+        "metered_s": metered_best,
+        "overhead_ratio": metered_best / direct_best,
+    }
+
+
+@dataclass
+class MemSweepRow:
+    """One point of the budget-vs-spill-overhead curve."""
+
+    algorithm: str
+    label: str
+    budget_bytes: int
+    min_budget_bytes: int
+    unlimited_peak_bytes: int
+    identical: bool
+    spilled_bytes: int
+    spill_files: int
+    superstep_splits: int
+    outbox_parks: int
+    wall_seconds: float
+    slowdown: float
+
+
+def min_budget_sweep(
+    scale: float = 0.5, *, workers: int = 4, repeats: int = 3
+) -> list[MemSweepRow]:
+    """Minimum completing budget and spill overhead at multiples of it,
+    for each sweep algorithm on the skewed hub graph."""
+    graph = _skewed_graph(scale)
+    rows: list[MemSweepRow] = []
+    for algorithm in MEM_SWEEP_ALGORITHMS:
+        program = _sweep_program(algorithm)
+        args = default_args(algorithm, graph)
+        if algorithm == "bfs":
+            args = {"root": max_out_degree_root(graph)}
+        baseline = program.run(graph, args, num_workers=workers)
+
+        def budgeted(budget: int):
+            mem = MemoryManager(MemPlan(budget_bytes=budget))
+            return program.run(graph, args, num_workers=workers, mem=mem)
+
+        peak = budgeted(1 << 30).metrics.mem_peak_bytes
+        lo, hi = 1, peak
+        while lo < hi:
+            mid = (lo + hi) // 2
+            run = budgeted(mid)
+            if run.metrics.halt_reason != "out_of_memory":
+                hi = mid
+            else:
+                lo = mid + 1
+        minimum = hi
+
+        # CPU time, like mem_overhead: the slowdown column should survive
+        # container scheduling jitter (spill cost is dominated by pickling).
+        unlimited_best = float("inf")
+        for _ in range(repeats):
+            gc.collect()
+            t0 = time.process_time()
+            program.run(graph, args, num_workers=workers)
+            unlimited_best = min(unlimited_best, time.process_time() - t0)
+
+        for mult in MEM_SWEEP_MULTIPLES:
+            budget = max(minimum, int(minimum * mult))
+            best = float("inf")
+            run = None
+            for _ in range(repeats):
+                gc.collect()
+                t0 = time.process_time()
+                run = budgeted(budget)
+                best = min(best, time.process_time() - t0)
+            m = run.metrics
+            rows.append(
+                MemSweepRow(
+                    algorithm=algorithm,
+                    label=f"{mult:g}x min",
+                    budget_bytes=budget,
+                    min_budget_bytes=minimum,
+                    unlimited_peak_bytes=peak,
+                    identical=(
+                        run.outputs == baseline.outputs
+                        and m.parity_key() == baseline.metrics.parity_key()
+                    ),
+                    spilled_bytes=m.spilled_bytes,
+                    spill_files=m.spill_files,
+                    superstep_splits=m.superstep_splits,
+                    outbox_parks=m.outbox_parks,
+                    wall_seconds=best,
+                    slowdown=best / unlimited_best,
+                )
+            )
+    return rows
+
+
+def mem_report_artifact(
+    scale: float = 0.5, *, workers: int = 4, budget_divisor: int = 3
+) -> dict:
+    """Run PageRank on the skewed graph at a third of its observed peak and
+    return the structured :class:`~repro.pregel.MemoryReport` dict — the CI
+    memory-report artifact."""
+    graph = _skewed_graph(scale)
+    program = MANUAL_PROGRAMS["pagerank"]
+    args = default_args("pagerank", graph)
+    probe = MemoryManager(MemPlan(budget_bytes=1 << 30))
+    peak = program.run(
+        graph, args, num_workers=workers, mem=probe
+    ).metrics.mem_peak_bytes
+    # Stay above the satisfiability floor (the hub's inbox must fit).
+    floor = probe.report().largest_vertex_inbox_bytes
+    budget = max(1, peak // budget_divisor, 2 * floor)
+    mem = MemoryManager(MemPlan(budget_bytes=budget))
+    run = program.run(graph, args, num_workers=workers, mem=mem)
+    report = mem.report().to_dict()
+    report["halt_reason"] = run.metrics.halt_reason
+    return report

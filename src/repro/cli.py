@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -155,6 +156,35 @@ def _build_supervisor(ns: argparse.Namespace):
         raise _die(f"--heartbeat: {exc}") from None
 
 
+def _build_mem(ns: argparse.Namespace):
+    """A MemoryManager from ``--mem-budget``/``--spill-dir``, or None."""
+    if not ns.mem_budget:
+        if ns.spill_dir:
+            raise _die("--spill-dir requires --mem-budget")
+        return None
+    from .pregel.mem import MemoryManager, parse_mem_budget
+
+    if ns.spill_dir:
+        try:
+            os.makedirs(ns.spill_dir, exist_ok=True)
+        except OSError as exc:
+            raise _die(f"--spill-dir: {exc}")
+    try:
+        plan = parse_mem_budget(ns.mem_budget)
+        if ns.spill_dir:
+            import dataclasses
+
+            plan = dataclasses.replace(plan, spill_dir=ns.spill_dir)
+        for worker, _budget in plan.worker_budgets:
+            if worker >= ns.workers:
+                raise ValueError(
+                    f"targets worker {worker} but --workers is {ns.workers}"
+                )
+    except ValueError as exc:
+        raise _die(f"--mem-budget: {exc}") from None
+    return MemoryManager(plan)
+
+
 def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     """Compile and run ``ns.file``, threading one tracer through the compiler
     and the engine when tracing is requested (or forced by the subcommand).
@@ -171,6 +201,7 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     result = compile_source(source, emit_java=False, tracer=tracer)
     args = _parse_args_list(ns.arg)
     supervisor = _build_supervisor(ns)
+    mem = _build_mem(ns)
     run = result.program.run(
         graph,
         args,
@@ -181,6 +212,7 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
         tracer=tracer,
         transport=_build_transport(ns),
         supervisor=supervisor,
+        mem=mem,
     )
     if ns.metrics_json:
         Path(ns.metrics_json).write_text(
@@ -198,11 +230,11 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
                 f"chrome trace -> {ns.trace_chrome} (open in Perfetto)",
                 file=sys.stderr,
             )
-    return graph, run, tracer, supervisor
+    return graph, run, tracer, supervisor, mem
 
 
 def _cmd_run(ns: argparse.Namespace) -> int:
-    graph, run, _tracer, supervisor = _execute_traced(ns)
+    graph, run, _tracer, supervisor, mem = _execute_traced(ns)
     print(f"graph: {graph}")
     print(f"metrics: {run.metrics.summary()}")
     if run.metrics.faults_injected:
@@ -211,6 +243,19 @@ def _cmd_run(ns: argparse.Namespace) -> int:
             f"worker crash(es), {run.metrics.lost_supersteps} superstep(s) lost, "
             f"{run.metrics.recovery_replay_work} vertex computations replayed"
         )
+    if mem is not None:
+        report = mem.report()
+        print(report.summary())
+        if report.oom:
+            # Graceful degradation: the budget could not hold an irreducible
+            # allocation — partial result plus a structured report, no crash.
+            print(
+                f"memory: OUT OF MEMORY — worker {report.oom['worker']} in "
+                f"{report.oom['phase']} at superstep {report.oom['superstep']} "
+                f"needed {report.oom['needed_bytes']} bytes against a "
+                f"{report.oom['budget_bytes']}-byte budget; partial result "
+                f"covers {run.metrics.supersteps} superstep(s)"
+            )
     if supervisor is not None:
         report = supervisor.report()
         if report["degraded"]:
@@ -246,7 +291,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
 def _cmd_trace(ns: argparse.Namespace) -> int:
     from .obs import timeline_report
 
-    graph, run, tracer, _supervisor = _execute_traced(ns, force_trace=True)
+    graph, run, tracer, _supervisor, _mem = _execute_traced(ns, force_trace=True)
     print(f"graph: {graph}")
     print(timeline_report(tracer.events))
     print()
@@ -257,7 +302,7 @@ def _cmd_trace(ns: argparse.Namespace) -> int:
 def _cmd_profile(ns: argparse.Namespace) -> int:
     from .obs import profile_report
 
-    graph, run, tracer, _supervisor = _execute_traced(ns, force_trace=True)
+    graph, run, tracer, _supervisor, _mem = _execute_traced(ns, force_trace=True)
     print(f"graph: {graph}")
     print(profile_report(tracer.events))
     print()
@@ -413,6 +458,24 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="N",
                 help="restart budget for detected failures; past it the run "
                 "degrades to a partial result with halt_reason=unrecoverable",
+            )
+            p.add_argument(
+                "--mem-budget",
+                action="append",
+                default=[],
+                metavar="BYTES[@W]",
+                help="per-worker memory budget (k/m/g suffixes allowed); "
+                "BYTES@W targets one worker (repeatable).  Over-budget "
+                "inboxes spill to disk and outboxes split the superstep; "
+                "results stay bit-identical.  A budget too small for a "
+                "single vertex's inbox degrades the run to "
+                "halt_reason=out_of_memory with a structured report",
+            )
+            p.add_argument(
+                "--spill-dir",
+                metavar="DIR",
+                help="parent directory for the run's private spill files "
+                "(default: the system temp dir); requires --mem-budget",
             )
             p.add_argument(
                 "--trace",

@@ -3,6 +3,7 @@
 from .generators import (
     attach_standard_props,
     bipartite,
+    skewed,
     twitter_like,
     uniform_random,
     web_like,
@@ -20,6 +21,7 @@ __all__ = [
     "load_edge_list",
     "load_graph",
     "save_edge_list",
+    "skewed",
     "twitter_like",
     "uniform_random",
     "web_like",

@@ -124,6 +124,76 @@ def bipartite(
     return graph
 
 
+def skewed(
+    num_nodes: int,
+    avg_degree: int = 16,
+    *,
+    seed: int = 1,
+    exponent: float = 2.1,
+    hub_degree: int | None = None,
+) -> Graph:
+    """Power-law graph with a configurable maximum-degree hub — the
+    memory-pressure adversary.
+
+    Out-degrees are drawn from a discrete power law ``P(d) ∝ d^-exponent``
+    (the 2–2.5 range measured on real social/web graphs); targets are chosen
+    by preferential attachment, so in-degree skews too.  Vertex 0 is then
+    forced up to ``hub_degree`` in-edges (default ``num_nodes - 1``: every
+    other vertex points at it).  On a message-per-edge algorithm the hub's
+    inbox alone is ``hub_degree`` messages — the single-vertex allocation
+    that decides whether a memory budget is satisfiable, which makes this
+    generator the worst case for spill-to-disk and superstep splitting.
+    """
+    if num_nodes < 2:
+        raise ValueError("skewed graph needs at least 2 nodes")
+    if hub_degree is None:
+        hub_degree = num_nodes - 1
+    if not 1 <= hub_degree <= num_nodes - 1:
+        raise ValueError(
+            f"hub_degree must be in [1, {num_nodes - 1}], got {hub_degree}"
+        )
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    rng = random.Random(seed)
+    # Discrete bounded power law via inverse-transform sampling on the
+    # normalized tail weights (bounded so one draw cannot eat the edge
+    # budget; the hub is added explicitly below).
+    max_deg = max(2, min(num_nodes - 1, avg_degree * 8))
+    weights = [d ** -exponent for d in range(1, max_deg + 1)]
+    total_w = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total_w
+        cumulative.append(acc)
+    # Scale draws so the expected degree matches avg_degree.
+    mean_draw = sum((d + 1) * w for d, w in enumerate(weights)) / total_w
+    boost = max(1.0, avg_degree / mean_draw)
+    edges: set[tuple[int, int]] = set()
+    targets: list[int] = [0]  # preferential-attachment pool
+    for v in range(num_nodes):
+        r = rng.random()
+        deg = max_deg
+        for d, edge_cum in enumerate(cumulative):
+            if r <= edge_cum:
+                deg = d + 1
+                break
+        deg = max(1, int(deg * boost))
+        for _ in range(deg):
+            if targets and rng.random() < 0.5:
+                t = targets[rng.randrange(len(targets))]
+            else:
+                t = rng.randrange(num_nodes)
+            if t != v and (v, t) not in edges:
+                edges.add((v, t))
+                targets.append(t)
+    # Force the hub: the first hub_degree non-hub vertices all point at 0.
+    hub_sources = [v for v in range(1, num_nodes)][:hub_degree]
+    for v in hub_sources:
+        edges.add((v, 0))
+    return Graph.from_edges(num_nodes, sorted(edges))
+
+
 def attach_standard_props(graph: Graph, *, seed: int = 2) -> Graph:
     """Attach the node/edge properties the six algorithms consume: ``age``
     (for AvgTeen), ``member`` (for conductance), and the ``len`` edge weight

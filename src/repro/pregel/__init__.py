@@ -1,7 +1,9 @@
 """Pregel/GPS runtime simulator: graph, BSP engine, global-objects map,
 fault tolerance (checkpointing, crash injection, recovery), simulated
-unreliable transport with reliable exactly-once delivery, and supervision
-(heartbeat failure detection, automatic recovery, straggler quarantine)."""
+unreliable transport with reliable exactly-once delivery, supervision
+(heartbeat failure detection, automatic recovery, straggler quarantine),
+and memory-pressure robustness (per-worker budgets, credit-based
+backpressure, spill-to-disk, graceful out-of-memory degradation)."""
 
 from .ft import (
     Checkpointable,
@@ -13,6 +15,14 @@ from .ft import (
 )
 from .globalmap import GlobalObjectMap, GlobalOp, combine
 from .graph import Graph
+from .mem import (
+    MemoryBudget,
+    MemoryExhausted,
+    MemoryManager,
+    MemoryReport,
+    MemPlan,
+    parse_mem_budget,
+)
 from .net import (
     NetFaultPlan,
     SimulatedTransport,
@@ -36,6 +46,11 @@ __all__ = [
     "GlobalObjectMap",
     "GlobalOp",
     "Graph",
+    "MemPlan",
+    "MemoryBudget",
+    "MemoryExhausted",
+    "MemoryManager",
+    "MemoryReport",
     "NetFaultPlan",
     "PhiAccrualDetector",
     "PregelEngine",
@@ -48,5 +63,6 @@ __all__ = [
     "default_message_size",
     "parse_crash",
     "parse_heartbeat",
+    "parse_mem_budget",
     "parse_net_faults",
 ]

@@ -177,6 +177,13 @@ class SimulatedTransport:
             "latency_units": 0.0,
             "acks_lost": 0,
             "max_attempts_seen": 0,
+            #: peak occupancy of the receiver's reorder buffer (messages
+            #: parked waiting for a sequence gap to close) — the protocol's
+            #: own memory footprint, charged against the worker's budget
+            #: peak when the engine runs under one (metered, not enforced:
+            #: protocol buffers cannot spill without breaking the ack
+            #: contract).
+            "reorder_buffer_peak": 0,
         }
 
     # -- wiring ----------------------------------------------------------
@@ -210,17 +217,28 @@ class SimulatedTransport:
             # accounting only, the caller's batch is delivered as-is.
             self.stats["latency_units"] += self.plan.latency_units if total else 0.0
             return part
-        self._simulate_stream(total)
+        avg_bytes = 0.0
+        if self._engine._mem_limited:
+            size_of = self._engine.mem._size_of
+            nbytes = 0
+            for msgs in part.values():
+                for msg in msgs:
+                    nbytes += size_of(msg)
+            avg_bytes = nbytes / total
+        self._simulate_stream(total, worker, avg_bytes)
         # Exactly-once in-order delivery reconstructed the sent stream.
         return part
 
     # -- channel simulation ----------------------------------------------
 
-    def _simulate_stream(self, n: int) -> None:
+    def _simulate_stream(self, n: int, worker: int = 0, avg_bytes: float = 0.0) -> None:
         """Push ``n`` sequenced messages through the unreliable channel until
         the receiver has processed — and the sender has seen acked — every
         one of them.  Mutates only the metrics/stats ledgers; the delivered
-        content is the sequence-ordered input by protocol construction."""
+        content is the sequence-ordered input by protocol construction.
+        ``avg_bytes`` (non-zero only under a memory budget) converts the
+        reorder buffer's peak occupancy into a byte charge against
+        ``worker``'s budget peak."""
         plan = self.plan
         rng = self._rng
         metrics = self._engine.metrics
@@ -236,6 +254,8 @@ class SimulatedTransport:
         received = bytearray(n)  # dedup table: seqs the receiver processed
         acked = bytearray(n)     # sender side: retransmit until set
         expected = 0             # next in-order seq the receiver can consume
+        parked = 0               # reorder-buffer occupancy (received > expected)
+        parked_peak = 0
         unacked = n
         while unacked:
             stats["protocol_rounds"] += 1
@@ -288,9 +308,16 @@ class SimulatedTransport:
                     if seq != expected:
                         # Parked in the reorder buffer until the gap closes.
                         metrics.messages_reordered += 1
+                        parked += 1
+                        if parked > parked_peak:
+                            parked_peak = parked
                     else:
+                        first = expected
                         while expected < n and received[expected]:
                             expected += 1
+                        # The gap closed: every seq past the first consumed
+                        # one was sitting in the reorder buffer.
+                        parked -= expected - first - 1
                 # Ack travels the faulty channel too; a lost ack keeps the
                 # message pending, forcing a retransmit the dedup table eats.
                 if drop and random_() < drop:
@@ -299,3 +326,9 @@ class SimulatedTransport:
                     acked[seq] = 1
                     unacked -= 1
         assert expected == n, "protocol invariant: stream fully reconstructed"
+        if parked_peak > stats["reorder_buffer_peak"]:
+            stats["reorder_buffer_peak"] = parked_peak
+        if avg_bytes and parked_peak:
+            self._engine.mem.note_transport_buffer(
+                worker, int(parked_peak * avg_bytes)
+            )

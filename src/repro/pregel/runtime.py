@@ -55,12 +55,14 @@ from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ft import FaultTolerance
+    from .mem import MemoryManager
     from .net import SimulatedTransport
     from .supervisor import Supervisor
     from ..obs.tracer import Tracer
 
 from .globalmap import GlobalObjectMap, GlobalOp
 from .graph import Graph
+from .mem import MemoryExhausted
 
 _NO_MESSAGES: tuple = ()
 
@@ -134,6 +136,20 @@ class RunMetrics:
     heartbeats_missed: int = 0
     restarts: int = 0
     workers_quarantined: int = 0
+    # -- memory accounting (repro.pregel.mem) -----------------------------
+    #: bytes written to spill runs (inbox spills + superstep splits) and
+    #: the number of run files; credit-exhausted delivery stalls (parks)
+    #: and Giraph-style mid-phase outbox splits.  Like the transport's
+    #: fault counters these describe *how* the run fit its budget, not what
+    #: it computed — they stay outside parity_key().
+    spilled_bytes: int = 0
+    spill_files: int = 0
+    outbox_parks: int = 0
+    superstep_splits: int = 0
+    #: peak resident bytes over all workers, and the streamed checkpoint
+    #: writer's peak buffered bytes.
+    mem_peak_bytes: int = 0
+    checkpoint_peak_bytes: int = 0
 
     def makespan_inflation(self) -> float:
         """makespan / perfectly-balanced makespan (1.0 = no imbalance)."""
@@ -213,6 +229,20 @@ class RunMetrics:
                 f" | supervisor: heartbeats_missed={self.heartbeats_missed} "
                 f"restarts={self.restarts} quarantined={self.workers_quarantined}"
             )
+        if (
+            self.spilled_bytes
+            or self.spill_files
+            or self.outbox_parks
+            or self.superstep_splits
+            or self.mem_peak_bytes
+        ):
+            text += (
+                f" | mem: peak={self.mem_peak_bytes} "
+                f"spilled={self.spilled_bytes} spill_files={self.spill_files} "
+                f"parks={self.outbox_parks} splits={self.superstep_splits}"
+            )
+            if self.checkpoint_peak_bytes:
+                text += f" ckpt_peak={self.checkpoint_peak_bytes}"
         return text
 
 
@@ -248,6 +278,7 @@ class PregelEngine:
         tracer: "Tracer | None" = None,
         transport: "SimulatedTransport | None" = None,
         supervisor: "Supervisor | None" = None,
+        mem: "MemoryManager | None" = None,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -345,6 +376,15 @@ class PregelEngine:
         self._abort_reason: str | None = None
         if supervisor is not None:
             supervisor.attach(self)
+        # Memory accounting (repro.pregel.mem): with a limited plan every
+        # inbox/outbox/combiner/checkpoint byte charges a per-worker budget
+        # and delivery runs under credit control; an unlimited plan (or
+        # mem=None) installs nothing — the hot loops check one flag per run.
+        self.mem = mem
+        self._mem_limited = False
+        if mem is not None:
+            mem.attach(self)
+            self._mem_limited = mem.limited
         # Observability (repro.obs): ``tracer=None`` (or a disabled tracer)
         # leaves the hot loops untouched — instrumentation is installed by
         # run() only when the tracer records (see _install_tracing).
@@ -428,8 +468,13 @@ class PregelEngine:
         Dense mode returns the live outbox dict; frontier mode merges the
         per-worker outbox batches (each destination appears in exactly one).
         The fault-tolerance manager checkpoints and logs through this view,
-        so both schedulers share one checkpoint/log format.
+        so both schedulers share one checkpoint/log format.  Under a memory
+        budget the view also re-merges any superstep-split spill runs, so
+        checkpoints and confined-recovery logs see exactly the traffic a
+        budget-free run would have staged in memory.
         """
+        if self._mem_limited:
+            return self.mem.outbox_snapshot()
         if not self._batched:
             return self._outbox
         merged: dict[int, list] = {}
@@ -536,9 +581,14 @@ class PregelEngine:
         objects, RNG state, and the metrics ledger.  The returned payload is
         plain picklable data; the fault-tolerance manager serializes it."""
         metrics = self.metrics
+        # Only the outer map is copied: the bucket lists are never mutated
+        # after staging (delivery swaps and reads, sends build new buckets),
+        # and the FT manager serializes the payload immediately — copying
+        # every message list here only doubled the checkpoint's transient
+        # memory footprint.
         state = {
             "superstep": self.superstep,
-            "outbox": {dst: list(msgs) for dst, msgs in self.outbox_view().items()},
+            "outbox": dict(self.outbox_view()),
             # Frontier-mode scheduler state: the vertices computed in the
             # last superstep, from which the next frontier's un-voted half
             # derives.  None when unknown (dense scheduling, or before the
@@ -581,15 +631,20 @@ class PregelEngine:
             self._frontier_dirty = True
             return
         self.superstep = state["superstep"]
+        # Install the checkpointed buckets without duplicating each message
+        # list: a restored payload is freshly unpickled (FT) or engine
+        # buckets are never mutated in place after staging (direct restore
+        # of a captured state), so the per-bucket copies this used to make
+        # doubled the restore's memory footprint for nothing.
         if self._batched:
             parts = self._out_parts
             for part in parts:
                 part.clear()
             worker_of = self._worker_of
             for dst, msgs in state["outbox"].items():
-                parts[worker_of[dst]][dst] = list(msgs)
+                parts[worker_of[dst]][dst] = msgs
         else:
-            self._outbox = {dst: list(msgs) for dst, msgs in state["outbox"].items()}
+            self._outbox = dict(state["outbox"])
         saved_frontier = state.get("frontier")
         if self._batched and saved_frontier is not None:
             self._frontier = list(saved_frontier)
@@ -626,6 +681,11 @@ class PregelEngine:
                 [0] * (state["superstep"] - len(saved_per_superstep))
             )
         metrics.worker_sent[:] = state["worker_sent"]
+        # Under a budget the live spill runs are stale now — the restored
+        # in-flight outbox was just installed in memory; the manager drops
+        # the run files and recharges the ledger from the installed batches.
+        if self._mem_limited:
+            self.mem.on_rollback()
         # Rollback recovery is about to replay the dropped supersteps: the
         # tracer must drop their records too, so a recovered run's stream
         # stays identical to a failure-free one.
@@ -684,8 +744,15 @@ class PregelEngine:
     def run(self) -> RunMetrics:
         tracer = self.tracer
         traced = tracer is not None and tracer.enabled
+        mem = self.mem
+        mem_limited = self._mem_limited
         if traced:
             self._install_tracing()
+        if mem_limited:
+            # After tracing: the budgeted compute wrapper must see the
+            # traced hooks so spilled-inbox materialization is timed too.
+            mem.install()
+        if traced:
             tracer.event(
                 "run.begin",
                 cat="engine",
@@ -712,6 +779,58 @@ class PregelEngine:
         batched = self._batched
         threshold = max(1, int(self._frontier_threshold * n))
         halt_reason = "max_supersteps"
+        oom: MemoryExhausted | None = None
+        try:
+            halt_reason = self._run_loop(
+                halt_reason, tracer, traced, mem, mem_limited
+            )
+        except MemoryExhausted as exc:
+            # Graceful degradation: an unsatisfiable budget ends the run
+            # with a structured report, never an exception.  The supervisor
+            # (when present) records the exhaustion like a detected death.
+            oom = exc
+            halt_reason = "out_of_memory"
+            self._current_vertex = -1
+        finally:
+            if mem is not None:
+                if oom is not None:
+                    mem.record_oom(oom)
+                mem.close()
+        if oom is not None and supervisor is not None:
+            supervisor.on_oom(oom)
+        self.metrics.supersteps = self.superstep
+        self.metrics.wall_seconds = time.perf_counter() - start
+        self.metrics.result = self.result
+        self.metrics.halt_reason = halt_reason
+        if traced:
+            m = self.metrics
+            tracer.event(
+                "run.end",
+                cat="engine",
+                det={
+                    "supersteps": m.supersteps,
+                    "messages": m.messages,
+                    "message_bytes": m.message_bytes,
+                    "net_messages": m.net_messages,
+                    "net_bytes": m.net_bytes,
+                    "broadcast_values": m.broadcast_values,
+                    "worker_sent": list(m.worker_sent),
+                    "halt_reason": m.halt_reason,
+                    "result": m.result,
+                },
+                info={"wall_seconds": m.wall_seconds},
+            )
+        return self.metrics
+
+    def _run_loop(self, halt_reason, tracer, traced, mem, mem_limited) -> str:
+        graph = self.graph
+        n = graph.num_nodes
+        voted = self._voted
+        ft = self.ft
+        supervisor = self._supervisor
+        transport = self._transport
+        batched = self._batched
+        threshold = max(1, int(self._frontier_threshold * n))
         while self.superstep < self._max_supersteps:
             # Supervision boundary (before the FT hook: detection must see
             # the barrier the workers just crossed, and recovery needs the
@@ -777,7 +896,12 @@ class PregelEngine:
                 touched.clear()
                 slots = self._inbox_slots
                 receiving = touched.append
-                if transport is None:
+                if mem_limited:
+                    # Credit-controlled routing: same worker order, same
+                    # per-receiver message order, bounded by the budget
+                    # (split runs re-merge ahead of the residual batch).
+                    mem.deliver_batched(incoming, receiving)
+                elif transport is None:
                     for part in incoming:
                         if part:
                             for dst, msgs in part.items():
@@ -794,6 +918,10 @@ class PregelEngine:
                                 slots[dst] = msgs
                                 receiving(dst)
                             part.clear()
+            elif mem_limited:
+                staged = self._outbox
+                self._outbox = {}
+                self._inbox = inbox = mem.deliver_dense(staged)
             else:
                 self._inbox, self._outbox = self._outbox, {}
                 inbox = self._inbox
@@ -930,6 +1058,11 @@ class PregelEngine:
             # Barrier: flush combiner slots (metering the folded payloads),
             # then account the superstep.
             if self._combined:
+                if mem_limited:
+                    # The combiner table lived on the senders all superstep
+                    # and cannot spill; charge it before the flush (which
+                    # stages — and budget-charges — the folded payloads).
+                    mem.check_combiner(self._combined)
                 self._flush_combined()
             if traced:
                 t_now = time.perf_counter()
@@ -944,6 +1077,10 @@ class PregelEngine:
 
             if ft is not None:
                 ft.on_superstep_end()
+            if mem_limited:
+                # The vertex phase consumed this superstep's inbox: release
+                # its charges and drop its spill runs.
+                mem.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
             if traced:
@@ -980,26 +1117,4 @@ class PregelEngine:
                     },
                 )
 
-        self.metrics.supersteps = self.superstep
-        self.metrics.wall_seconds = time.perf_counter() - start
-        self.metrics.result = self.result
-        self.metrics.halt_reason = halt_reason
-        if traced:
-            m = self.metrics
-            tracer.event(
-                "run.end",
-                cat="engine",
-                det={
-                    "supersteps": m.supersteps,
-                    "messages": m.messages,
-                    "message_bytes": m.message_bytes,
-                    "net_messages": m.net_messages,
-                    "net_bytes": m.net_bytes,
-                    "broadcast_values": m.broadcast_values,
-                    "worker_sent": list(m.worker_sent),
-                    "halt_reason": m.halt_reason,
-                    "result": m.result,
-                },
-                info={"wall_seconds": m.wall_seconds},
-            )
-        return self.metrics
+        return halt_reason

@@ -230,6 +230,7 @@ class Supervisor:
         self._quarantined: set[int] = set()
         self.restarts_used = 0
         self.degraded = False
+        self.oom: dict | None = None
         self._detections: list[dict] = []
         self._quarantines: list[dict] = []
 
@@ -404,6 +405,28 @@ class Supervisor:
                 else:
                     self._strikes[w] = 0
 
+    def on_oom(self, exc) -> None:
+        """Memory exhaustion escalates like a silent crash: the worker that
+        blew its budget is recorded as a detection and the run degrades —
+        but the halt reason stays ``out_of_memory``, because the worker is
+        not dead, it is unsatisfiable (no restart could ever fit it)."""
+        engine = self._engine
+        detection = {
+            "worker": exc.worker,
+            "superstep": exc.superstep,
+            "clock": self._clock,
+            "action": "out_of_memory",
+            "phase": exc.phase,
+            "needed_bytes": exc.needed,
+            "budget_bytes": exc.budget,
+        }
+        self._detections.append(detection)
+        self.degraded = True
+        self.oom = dict(detection)
+        tracer = self._tracer() if engine is not None else None
+        if tracer is not None:
+            tracer.event("supervisor.oom", cat="supervisor", info=dict(detection))
+
     def _quarantine(self, worker: int, tracer) -> None:
         targets = [
             w
@@ -434,14 +457,21 @@ class Supervisor:
         """The structured supervision summary — on degradation this is the
         partial-result report the CLI prints instead of a traceback."""
         engine = self._engine
+        if self.oom is not None:
+            halt_reason = "out_of_memory"
+        elif self.degraded:
+            halt_reason = "unrecoverable"
+        else:
+            halt_reason = ""
         return {
             "degraded": self.degraded,
-            "halt_reason": "unrecoverable" if self.degraded else "",
+            "halt_reason": halt_reason,
             "restarts_used": self.restarts_used,
             "max_restarts": self.plan.max_restarts,
             "heartbeats_missed": engine.metrics.heartbeats_missed if engine else 0,
             "clock_units": self._clock,
             "completed_supersteps": engine.superstep if engine else 0,
+            "oom": dict(self.oom) if self.oom else None,
             "detections": [dict(d) for d in self._detections],
             "quarantined_workers": sorted(self._quarantined),
             "quarantines": [dict(q) for q in self._quarantines],

@@ -11,6 +11,7 @@ job runs it); locally:
     REPRO_CHAOS=1 PYTHONPATH=src python -m pytest -m slow tests/test_chaos_fuzz.py
 """
 
+import dataclasses
 import os
 
 import pytest
@@ -57,6 +58,26 @@ def test_full_sweep():
     # the long sweep must exercise both halves of the matrix for real
     assert sum(r.detected for r in results) >= 10
     assert sum(r.messages_dropped > 0 for r in results) >= 10
+    _assert_all_ok(results)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS"),
+    reason="long sweep; set REPRO_CHAOS=1 to enable",
+)
+def test_tight_budget_slice():
+    # every drawn fault mix re-run under one tight per-worker budget: the
+    # memory machinery must actually fire somewhere in the slice, and every
+    # case still comes back bit-identical to its clean baseline
+    results = [
+        run_case(
+            dataclasses.replace(draw_case(seed), mem_budget=1 << 16),
+            scale=0.25,
+        )
+        for seed in range(12)
+    ]
+    assert any(r.spilled_bytes > 0 or r.superstep_splits > 0 for r in results)
     _assert_all_ok(results)
 
 

@@ -259,6 +259,31 @@ class TestUsageErrors:
         )
         assert f"{bad}:3:" in msg
 
+    @pytest.mark.parametrize("bad", ["banana", "0", "64k@9", "4k@x"])
+    def test_bad_mem_budget_spec(self, capsys, bad):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", bad],
+        )
+        assert "--mem-budget" in msg
+
+    def test_duplicate_mem_budget_specs(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "64k", "--mem-budget", "32k"],
+        )
+        assert "--mem-budget" in msg
+
+    def test_spill_dir_without_budget(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--spill-dir", "/tmp"],
+        )
+        assert "--spill-dir" in msg
+
 
 class TestNetAndSupervisorFlags:
     def test_net_faults_run_meters_and_roundtrips_json(self, tmp_path, capsys):
@@ -321,3 +346,60 @@ class TestNetAndSupervisorFlags:
         names = [e["name"] for e in load_jsonl(path)]
         assert "net.route" in names
         assert "supervisor.suspect" in names and "supervisor.restart" in names
+
+
+class TestMemBudgetFlags:
+    def test_tight_budget_spills_and_reports(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "8k", "--spill-dir", str(tmp_path),
+             "--metrics-json", str(path)],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory: budget=8192" in out
+        ledger = json.loads(path.read_text())
+        assert ledger["halt_reason"] != "out_of_memory"
+        assert ledger["spilled_bytes"] > 0
+        # the private spill directory is always removed
+        assert not list(tmp_path.glob("gm-pregel-mem-*"))
+
+    def test_unsatisfiable_budget_reports_oom(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "64", "--metrics-json", str(path)],
+        )
+        assert code == 0  # degraded, not dead: structured report, no traceback
+        out = capsys.readouterr().out
+        assert "memory: OUT OF MEMORY" in out
+        assert json.loads(path.read_text())["halt_reason"] == "out_of_memory"
+
+    def test_targeted_worker_budget_accepted(self, capsys):
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "16k@1"],
+        )
+        assert code == 0
+        assert "memory: budget=" in capsys.readouterr().out
+
+    def test_spill_dir_is_created_if_missing(self, capsys, tmp_path):
+        nested = tmp_path / "not" / "yet" / "there"
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "8k", "--spill-dir", str(nested)],
+        )
+        assert code == 0
+        assert nested.is_dir() and not list(nested.iterdir())
+
+    def test_unusable_spill_dir_is_a_usage_error(self, capsys):
+        _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--mem-budget", "8k", "--spill-dir", "/dev/null/nope"],
+        )

@@ -13,6 +13,7 @@ from repro.graphgen import (
     load_edge_list,
     load_graph,
     save_edge_list,
+    skewed,
     twitter_like,
     uniform_random,
     web_like,
@@ -74,6 +75,52 @@ class TestWebLike:
         a = web_like(200, seed=7)
         b = web_like(200, seed=7)
         assert list(a.edges()) == list(b.edges())
+
+
+class TestSkewed:
+    def test_hub_has_max_in_degree_by_default(self):
+        g = skewed(400, 6, seed=5)
+        assert g.in_degree(0) == 399
+
+    def test_custom_hub_degree(self):
+        g = skewed(400, 6, seed=5, hub_degree=100)
+        assert g.in_degree(0) >= 100
+
+    def test_more_skewed_than_uniform(self):
+        n, deg = 500, 8
+        sk = skewed(n, deg, seed=3)
+        un = uniform_random(n, n * deg, seed=3)
+        # Ignore the forced hub; the power-law tail alone should beat uniform.
+        sk_max = max(sk.in_degree(v) for v in sk.nodes() if v != 0)
+        un_max = max(un.in_degree(v) for v in un.nodes())
+        assert sk_max > un_max
+
+    def test_no_self_loops(self):
+        g = skewed(300, 6, seed=2)
+        assert all(a != b for a, b in g.edges())
+
+    def test_deterministic_by_seed(self):
+        assert list(skewed(200, 5, seed=9).edges()) == list(
+            skewed(200, 5, seed=9).edges()
+        )
+
+    def test_seed_changes_graph(self):
+        assert list(skewed(200, 5, seed=1).edges()) != list(
+            skewed(200, 5, seed=2).edges()
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_nodes=1),
+            dict(num_nodes=100, hub_degree=0),
+            dict(num_nodes=100, hub_degree=100),
+            dict(num_nodes=100, exponent=1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            skewed(**kwargs)
 
 
 class TestBipartite:
