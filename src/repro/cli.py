@@ -28,6 +28,7 @@ from .compiler import compile_source
 from .graphgen.registry import TABLE1, load_graph
 from .interp import interpret
 from .lang.errors import GreenMarlError
+from .pregel.backend import BACKENDS, BackendUnsupported
 
 
 def _parse_value(text: str):
@@ -202,18 +203,24 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     args = _parse_args_list(ns.arg)
     supervisor = _build_supervisor(ns)
     mem = _build_mem(ns)
-    run = result.program.run(
-        graph,
-        args,
-        num_workers=ns.workers,
-        seed=ns.seed,
-        scheduling=ns.scheduling,
-        ft=_build_fault_tolerance(ns),
-        tracer=tracer,
-        transport=_build_transport(ns),
-        supervisor=supervisor,
-        mem=mem,
-    )
+    try:
+        run = result.program.run(
+            graph,
+            args,
+            backend=ns.backend,
+            num_workers=ns.workers,
+            seed=ns.seed,
+            scheduling=ns.scheduling,
+            ft=_build_fault_tolerance(ns),
+            tracer=tracer,
+            transport=_build_transport(ns),
+            supervisor=supervisor,
+            mem=mem,
+        )
+    except BackendUnsupported as exc:
+        # A feature composition the backend deliberately refuses is a
+        # usage error (exit 2), never a traceback or a silent wrong answer.
+        raise _die(str(exc)) from None
     if ns.metrics_json:
         Path(ns.metrics_json).write_text(
             json.dumps(run.metrics.to_dict(), sort_keys=True, default=str) + "\n"
@@ -411,6 +418,16 @@ def main(argv: list[str] | None = None) -> int:
                 help="superstep scheduling: 'frontier' iterates only the "
                 "active set when it is sparse (batched message routing); "
                 "'dense' always scans every vertex",
+            )
+            p.add_argument(
+                "--backend",
+                choices=BACKENDS,
+                default="sim",
+                help="execution backend: 'sim' is the dict-based simulator, "
+                "'columnar' stores properties in typed arrays and stages "
+                "messages as packed struct slabs, 'mp' runs real worker "
+                "processes exchanging those slabs over shared memory; all "
+                "are parity-identical on outputs and metered quantities",
             )
             p.add_argument(
                 "--checkpoint-every",

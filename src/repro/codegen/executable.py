@@ -24,10 +24,12 @@ from dataclasses import dataclass, field
 
 from ..lang.ast import BinOp, UnOp
 from ..lang import types as ty
+from ..pregel.backend import get_backend
 from ..pregel.ft import ColumnState
 from ..pregel.globalmap import GlobalOp, combine
 from ..pregel.graph import Graph
 from ..pregel.runtime import PregelEngine, RunMetrics
+from ..pregelir.schema import derive_schema
 from ..pregelir.ir import (
     Bin,
     Call,
@@ -256,10 +258,8 @@ def _emit_send_nbrs(out: _Emitter, stmt: VSendNbrs) -> None:
         out.line(f"if F__in_nbrs[vid]:")
         out.indent()
         out.line(f"_msg = {msg}")
-        out.line("for _dst in F__in_nbrs[vid]:")
-        out.indent()
-        out.line("ctx.send(_dst, _msg)")
-        out.dedent()
+        # Bulk send: typed backends stage one packed record per block.
+        out.line("ctx.send_list(F__in_nbrs[vid], _msg)")
         out.dedent()
     elif per_edge:
         out.line("for _ei in range(OUT_OFF[vid], OUT_OFF[vid + 1]):")
@@ -270,10 +270,7 @@ def _emit_send_nbrs(out: _Emitter, stmt: VSendNbrs) -> None:
         out.line("if OUT_OFF[vid] != OUT_OFF[vid + 1]:")
         out.indent()
         out.line(f"_msg = {msg}")
-        out.line("for _i in range(OUT_OFF[vid], OUT_OFF[vid + 1]):")
-        out.indent()
-        out.line("ctx.send(OUT_TGT[_i], _msg)")
-        out.dedent()
+        out.line("ctx.send_nbrs(vid, _msg)")
         out.dedent()
 
 
@@ -509,6 +506,11 @@ class CompiledProgram:
         namespace: dict = {}
         exec(compile(self.vertex_source, f"<generated:{ir.name}>", "exec"), namespace)
         self._factory = namespace["make_vertex_compute"]
+        # Derived here — after the optimizer has finished mutating phases
+        # and message layouts — so the typed storage/wire schema can never
+        # go stale relative to the message classes it describes (§4.3).
+        self.schema = derive_schema(ir)
+        ir.schema = self.schema
 
     # -- wiring ---------------------------------------------------------
 
@@ -546,6 +548,7 @@ class CompiledProgram:
         graph: Graph,
         args: dict | None = None,
         *,
+        backend="sim",
         use_combiners: bool = False,
         scheduling: str = "frontier",
         frontier_threshold: float = 0.25,
@@ -563,7 +566,15 @@ class CompiledProgram:
         active-set density above which frontier mode falls back to the dense
         scan (GraphIt-style direction switch).  Remaining ``engine_opts`` pass
         through to :class:`PregelEngine`.
+
+        ``backend`` selects the execution backend (``"sim"``, ``"columnar"``
+        or ``"mp"``, or an :class:`ExecutionBackend` instance): how property
+        columns are stored, how staged messages are represented, and which
+        engine drives the supersteps.  All backends are parity-identical;
+        compositions a backend refuses raise
+        :class:`~repro.pregel.backend.BackendUnsupported`.
         """
+        backend_impl = get_backend(backend)
         args = dict(args or {})
         engine_opts["scheduling"] = scheduling
         engine_opts["frontier_threshold"] = frontier_threshold
@@ -574,7 +585,9 @@ class CompiledProgram:
         for name, param in ((p.name, p) for p in self.ir.params):
             if isinstance(param.gm_type, ty.EdgePropType) and name not in graph.edge_props:
                 raise ValueError(f"graph is missing edge property '{name}'")
-        fields = self._build_fields(graph, args)
+        fields = backend_impl.build_columns(
+            self.schema, graph, self._build_fields(graph, args), args
+        )
         master = GeneratedMaster(self.ir, self._scalar_args(args))
 
         env: dict = {
@@ -595,21 +608,29 @@ class CompiledProgram:
         for name, column in graph.edge_props.items():
             env[f"EP_{name}"] = column
 
-        sizes = {tag: self.ir.message_size(tag) for tag in self.ir.messages}
+        # Wire sizes come from the typed schema, on every backend — so
+        # ``message_bytes`` always meters the bytes a columnar slab (or a
+        # shared-memory segment) actually carries, and mem budgets stay
+        # meaningful.
+        sizes = {tag: self.schema.message_size(tag) for tag in self.schema.tags}
 
         def message_size(msg: tuple) -> int:
             return sizes[msg[0]]
 
-        engine = PregelEngine(
+        engine = backend_impl.create_engine(
             graph,
-            vertex_compute=None,  # type: ignore[arg-type]
             master_compute=master.compute,
             message_size=message_size,
-            **engine_opts,
+            schema=self.schema,
+            engine_opts=engine_opts,
         )
         env["B"] = engine.globals.broadcast
         engine._vertex_compute = self._factory(env)
-        if engine.ft is not None:
+        if hasattr(engine, "_columns"):
+            # The mp backend's parent process scatters the workers'
+            # partitions back into these columns after the run.
+            engine._columns = fields
+        if getattr(engine, "ft", None) is not None:
             # Checkpoints must cover everything a worker crash can destroy:
             # the vertex property columns and the master's interpreter state.
             engine.ft.register(ColumnState(fields))
@@ -621,15 +642,17 @@ class CompiledProgram:
         graph: Graph,
         args: dict | None = None,
         *,
+        backend="sim",
         use_combiners: bool = False,
         **engine_opts,
     ) -> RunResult:
         engine, fields, _master = self.make_engine(
-            graph, args, use_combiners=use_combiners, **engine_opts
+            graph, args, backend=backend, use_combiners=use_combiners, **engine_opts
         )
         metrics = engine.run()
+        backend_impl = get_backend(backend)
         outputs = {
-            p.name: fields[p.name]
+            p.name: backend_impl.column_values(fields[p.name])
             for p in self.ir.params
             if p.is_output and p.name in fields
         }

@@ -1,0 +1,636 @@
+"""Multiprocessing backend: real worker processes + shared-memory slabs.
+
+The simulator *models* ``num_workers`` machines inside one process; this
+backend makes them real: one forked OS process per worker, each computing
+its hash partition of the vertices every superstep, exchanging the
+columnar backend's typed message slabs through ``multiprocessing.shared_memory``
+segments, and synchronizing at the same batched-routing barrier — here an
+actual parent-coordinated barrier rather than a simulated one.
+
+Determinism (the whole point of the parity contract) is preserved by two
+mechanisms:
+
+* every slab record carries its **sender id**; a receiving worker merges
+  the incoming per-source slabs with a stable sort on sender, which
+  reconstructs the simulator's per-receiver message order exactly (global
+  send order = ascending sender id, since workers scan their partitions in
+  ascending order and partitions interleave);
+* vertex **global-object puts** ship to the parent as ``(vid, value)``
+  streams and are re-folded sequentially in ascending-vid order, so even
+  non-associative float reductions (a PageRank error sum) come out
+  bit-identical to the single-process fold.
+
+The backend refuses — with :class:`BackendUnsupported` — every feature
+whose semantics it cannot reproduce across process boundaries: fault
+tolerance, the simulated transport, supervision, memory budgets, recording
+tracers, combiners, vote-to-halt, range partitioning, and makespan
+tracking.  Parity therefore holds on the full ``parity_key()`` against the
+sim/columnar backends at equal worker counts, and on everything except the
+per-worker ``worker_sent`` split across different worker counts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from array import array
+from typing import Any, Callable
+
+import numpy as np
+
+from ..globalmap import GlobalObjectMap
+from ..graph import Graph
+from ..runtime import RunMetrics
+from .base import BackendUnsupported, ExecutionBackend
+from .codec import MessageCodec
+from .columnar import build_typed_columns
+
+_EMPTY: tuple = ()
+
+
+def mp_available() -> bool:
+    """True when the platform can run this backend (fork + shared memory)."""
+    try:
+        import multiprocessing
+        from multiprocessing import shared_memory  # noqa: F401
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except (ImportError, OSError):
+        return False
+
+
+def _reject(feature: str, hint: str) -> None:
+    raise BackendUnsupported(
+        f"the mp backend does not support {feature}: {hint} "
+        "(run with --backend sim or columnar)"
+    )
+
+
+class _TagStage:
+    """Outgoing messages for one (destination worker, tag): a destination
+    array, sender run-lengths, and the packed payload slab."""
+
+    __slots__ = ("dsts", "senders", "counts", "payload")
+
+    def __init__(self):
+        self.dsts = array("i")
+        self.senders: list[int] = []
+        self.counts: list[int] = []
+        self.payload = bytearray()
+
+
+class MPEngine:
+    """Parent-side coordinator: runs the master, merges global puts, and
+    drives the worker barrier.  API-compatible with PregelEngine where the
+    generated master/compiled-program wiring needs it."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        schema,
+        vertex_compute: Callable | None = None,
+        master_compute: Callable | None = None,
+        message_size: Callable[[tuple], int] | None = None,
+        num_workers: int = 4,
+        seed: int = 17,
+        max_supersteps: int = 1_000_000,
+        use_voting: bool = False,
+        record_per_superstep: bool = False,
+        combiners: dict | None = None,
+        partitioning: str = "hash",
+        track_makespan: bool = False,
+        ft=None,
+        scheduling: str = "frontier",
+        frontier_threshold: float = 0.25,
+        tracer=None,
+        transport=None,
+        supervisor=None,
+        mem=None,
+        mp_slab_bytes: int | None = None,
+    ):
+        if use_voting:
+            _reject("vote_to_halt", "generated programs are master-driven")
+        if combiners:
+            _reject("combiners", "sender-side folding is per-process state")
+        if ft is not None:
+            _reject("fault tolerance", "checkpoints cover one address space")
+        if transport is not None:
+            _reject("the simulated transport", "real pipes carry the slabs")
+        if supervisor is not None:
+            _reject("supervision", "worker processes have no heartbeat probe")
+        if mem is not None:
+            _reject("memory budgets", "per-process accounting is not wired up")
+        if tracer is not None and tracer.enabled:
+            _reject("recording tracers", "events would interleave across processes")
+        if track_makespan:
+            _reject("track_makespan", "wall time of real workers replaces it")
+        if partitioning != "hash":
+            _reject(f"'{partitioning}' partitioning", "workers own hash partitions")
+        if scheduling not in ("frontier", "dense"):
+            raise ValueError(
+                f"unknown scheduling '{scheduling}' (expected 'frontier' or 'dense')"
+            )
+        if schema is None:
+            raise BackendUnsupported(
+                "the mp backend needs a program schema (compiled programs only)"
+            )
+        if not mp_available():
+            raise BackendUnsupported(
+                "the mp backend needs fork start-method and "
+                "multiprocessing.shared_memory, unavailable on this platform"
+            )
+        self.graph = graph
+        self.schema = schema
+        self.scheduling = scheduling
+        self.num_workers = max(1, num_workers)
+        self.rng = random.Random(seed)
+        self.globals = GlobalObjectMap()
+        self.metrics = RunMetrics(backend="mp")
+        self.metrics.worker_sent = [0] * self.num_workers
+        self.superstep = 0
+        self.result: Any = None
+        self.partitioning = "hash"
+        self._halt = False
+        self._vertex_compute = vertex_compute
+        self._master_compute = master_compute
+        self._message_size = message_size
+        self._max_supersteps = max_supersteps
+        self._record_per_superstep = record_per_superstep
+        self._codec = MessageCodec(schema)
+        w = self.num_workers
+        self._worker_of = bytes(v % w for v in range(graph.num_nodes)) if w <= 256 else [
+            v % w for v in range(graph.num_nodes)
+        ]
+        self._columns: dict[str, Any] = {}
+        self.ft = None
+        self.tracer = None
+        if mp_slab_bytes is None:
+            per_record = 8 + self.schema.max_message_size()
+            traffic = (graph.num_edges * 2) // w + graph.num_nodes
+            mp_slab_bytes = max(1 << 20, traffic * per_record)
+        self._slab_bytes = mp_slab_bytes
+
+    # -- master-side API (GeneratedMaster's ctx) ------------------------
+
+    def get_agg(self, name: str, default: Any = None) -> Any:
+        return self.globals.get_aggregated(name, default)
+
+    def put_broadcast(self, name: str, value: Any) -> None:
+        self.globals.put_broadcast(name, value)
+        self.metrics.broadcast_values += 1
+
+    def halt(self, result: Any = None) -> None:
+        self._halt = True
+        if result is not None:
+            self.result = result
+
+    def set_result(self, value: Any) -> None:
+        self.result = value
+
+    def pick_random_node(self) -> int:
+        return self.rng.randrange(self.graph.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    # -- execution ------------------------------------------------------
+
+    def run(self) -> RunMetrics:
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        if self._vertex_compute is None:
+            raise RuntimeError("no vertex program attached")
+        start = time.perf_counter()
+        ctx = multiprocessing.get_context("fork")
+        w = self.num_workers
+        segments = []
+        conns = []
+        procs = []
+        halt_reason = "max_supersteps"
+        try:
+            for _ in range(w):
+                segments.append(
+                    shared_memory.SharedMemory(create=True, size=self._slab_bytes)
+                )
+            workers = [
+                _Worker(wid, self, segments) for wid in range(w)
+            ]
+            for wid in range(w):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                conns.append(parent_conn)
+                proc = ctx.Process(
+                    target=workers[wid].main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+            halt_reason = self._coordinate(conns)
+            self._gather_columns(conns)
+            for proc in procs:
+                proc.join(timeout=30)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for conn in conns:
+                conn.close()
+            for seg in segments:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+        m = self.metrics
+        m.supersteps = self.superstep
+        m.wall_seconds = time.perf_counter() - start
+        m.result = self.result
+        m.halt_reason = halt_reason
+        return m
+
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise RuntimeError("mp worker process died unexpectedly") from None
+        if reply[0] == "error":
+            raise RuntimeError(f"mp worker failed:\n{reply[1]}")
+        return reply
+
+    def _coordinate(self, conns) -> str:
+        m = self.metrics
+        while self.superstep < self._max_supersteps:
+            # Master phase: sees globals aggregated from the previous
+            # superstep — exactly the simulator's ordering.
+            if self._master_compute is not None:
+                self._master_compute(self)
+                if self._halt:
+                    return "master_halt"
+            bcast = dict(self.globals.broadcast)
+            for conn in conns:
+                conn.send(("step", bcast))
+            replies = [self._recv(conn) for conn in conns]
+            step_messages = 0
+            all_puts: list = []
+            for wid, (_, _dir, _inline, counters, puts) in enumerate(replies):
+                m.messages += counters["messages"]
+                m.message_bytes += counters["bytes"]
+                m.net_messages += counters["net_messages"]
+                m.net_bytes += counters["net_bytes"]
+                m.worker_sent[wid] += counters["sent"]
+                step_messages += counters["messages"]
+                all_puts.extend(puts)
+            if self._record_per_superstep:
+                m.per_superstep_messages.append(step_messages)
+            # Re-fold vertex puts in ascending-vid order: bit-identical to
+            # the simulator's sequential fold (float sums included).
+            all_puts.sort(key=lambda p: p[2])
+            put_reduce = self.globals.put_reduce
+            for name, op, _vid, value in all_puts:
+                put_reduce(name, op, value)
+            directories = [r[1] for r in replies]
+            inlines = [r[2] for r in replies]
+            for conn in conns:
+                conn.send(("exchange", directories, inlines))
+            for conn in conns:
+                self._recv(conn)
+            self.globals.end_superstep()
+            self.superstep += 1
+        return "max_supersteps"
+
+    def _gather_columns(self, conns) -> None:
+        """Pull each worker's partition of every property column back into
+        the parent's columns, which RunResult outputs read."""
+        for conn in conns:
+            conn.send(("finish",))
+        n = self.graph.num_nodes
+        w = self.num_workers
+        for wid, conn in enumerate(conns):
+            reply = self._recv(conn)
+            for name, values in reply[1].items():
+                column = self._columns[name]
+                if isinstance(column, array):
+                    column[wid::w] = array(column.typecode, values)
+                else:
+                    for i, vid in enumerate(range(wid, n, w)):
+                        column[vid] = values[i]
+
+
+class _Worker:
+    """One worker process: computes its hash partition, stages outgoing
+    messages as per-(destination, tag) slabs in its shared-memory segment,
+    and rebuilds its inbox from the other workers' slabs after the barrier.
+
+    Constructed in the parent *before* fork, so every heavy structure (the
+    graph CSR, property columns, the generated vertex function and its
+    environment) is inherited copy-on-write — nothing is pickled."""
+
+    def __init__(self, wid: int, engine: MPEngine, segments):
+        self.wid = wid
+        self.engine = engine
+        self.segments = segments
+        self._current_vertex = -1
+
+    # -- vertex-side ctx API (called by generated code) -----------------
+
+    def send(self, dst: int, msg: tuple) -> None:
+        tag = msg[0]
+        stage = self._stage[self._worker_of[dst]][tag]
+        stage.dsts.append(dst)
+        stage.senders.append(self._current_vertex)
+        stage.counts.append(1)
+        stage.payload += self._pack[tag](msg)
+        self._meter(tag, 1, 1 if self._worker_of[dst] != self.wid else 0)
+
+    def send_nbrs(self, vid: int, msg: tuple) -> None:
+        offsets = self._grp_off[vid]
+        deg = offsets[-1] - offsets[0]
+        if deg == 0:
+            return
+        tag = msg[0]
+        record = self._pack[tag](msg)
+        grp_tgt = self._grp_tgt
+        for dest in range(self._w):
+            a = offsets[dest]
+            b = offsets[dest + 1]
+            if b > a:
+                stage = self._stage[dest][tag]
+                stage.dsts.frombytes(grp_tgt[a:b].tobytes())
+                stage.senders.append(vid)
+                stage.counts.append(b - a)
+                stage.payload += record * (b - a)
+        own = offsets[self.wid + 1] - offsets[self.wid]
+        self._meter(tag, deg, deg - own)
+
+    def send_list(self, dsts: list, msg: tuple) -> None:
+        if not dsts:
+            return
+        tag = msg[0]
+        record = self._pack[tag](msg)
+        vid = self._current_vertex
+        worker_of = self._worker_of
+        cross = 0
+        for dst in dsts:
+            dest = worker_of[dst]
+            if dest != self.wid:
+                cross += 1
+            stage = self._stage[dest][tag]
+            stage.dsts.append(dst)
+            stage.senders.append(vid)
+            stage.counts.append(1)
+            stage.payload += record
+        self._meter(tag, len(dsts), cross)
+
+    def put_global(self, name: str, op, value) -> None:
+        self._puts.append((name, op, self._current_vertex, value))
+
+    def get_global(self, name: str):
+        return self.engine.globals.broadcast[name]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.engine.graph.num_nodes
+
+    def _meter(self, tag: int, count: int, cross: int) -> None:
+        size = self._sizes[tag]
+        c = self._counters
+        c["messages"] += count
+        c["sent"] += count
+        c["bytes"] += size * count
+        if cross:
+            c["net_messages"] += cross
+            c["net_bytes"] += size * cross
+
+    # -- process body ---------------------------------------------------
+
+    def _init(self) -> None:
+        engine = self.engine
+        graph = engine.graph
+        n = graph.num_nodes
+        self._w = engine.num_workers
+        self._worker_of = engine._worker_of
+        codec = engine._codec
+        self._pack = codec.pack
+        self._unpack = codec.unpack
+        self._sizes = codec.sizes
+        self._tag_ids = codec.tag_ids
+        self._own_vids = list(range(self.wid, n, self._w))
+        self._puts: list = []
+        self._counters = dict(messages=0, sent=0, bytes=0, net_messages=0, net_bytes=0)
+        self._inbox: dict[int, list] = {}
+        self._stage = [
+            {tag: _TagStage() for tag in self._tag_ids} for _ in range(self._w)
+        ]
+        # Group every vertex's out-neighbor slice by destination worker
+        # (stable), so a neighbor broadcast stages one contiguous run per
+        # destination.  One vectorized pass over the whole CSR.
+        tgt = np.asarray(graph.out_targets, dtype=np.int32)
+        if isinstance(self._worker_of, bytes):
+            owner = np.frombuffer(self._worker_of, dtype=np.uint8)
+        else:
+            owner = np.asarray(self._worker_of, dtype=np.int64)
+        nbr_owner = owner[tgt].astype(np.int64)
+        degrees = np.diff(np.asarray(graph.out_offsets, dtype=np.int64))
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        order = np.lexsort((nbr_owner, src))
+        self._grp_tgt = tgt[order]
+        counts = np.bincount(src * self._w + nbr_owner, minlength=n * self._w)
+        counts = counts.reshape(n, self._w)
+        grp_off = np.empty((n, self._w + 1), dtype=np.int64)
+        grp_off[:, 0] = np.asarray(graph.out_offsets[:-1], dtype=np.int64)
+        np.cumsum(counts, axis=1, out=grp_off[:, 1:])
+        grp_off[:, 1:] += grp_off[:, :1]
+        self._grp_off = grp_off.tolist()
+
+    def main(self, conn) -> None:
+        try:
+            self._init()
+            engine = self.engine
+            compute = engine._vertex_compute
+            broadcast = engine.globals.broadcast
+            empty = _EMPTY
+            while True:
+                cmd = conn.recv()
+                kind = cmd[0]
+                if kind == "step":
+                    broadcast.clear()
+                    broadcast.update(cmd[1])
+                    inbox = self._inbox
+                    self._inbox = {}
+                    for vid in self._own_vids:
+                        self._current_vertex = vid
+                        compute(self, vid, inbox.get(vid, empty))
+                    self._current_vertex = -1
+                    directory, inline = self._write_slabs()
+                    conn.send(
+                        ("stat", directory, inline, self._counters, self._puts)
+                    )
+                    self._counters = dict(
+                        messages=0, sent=0, bytes=0, net_messages=0, net_bytes=0
+                    )
+                    self._puts = []
+                elif kind == "exchange":
+                    self._read_slabs(cmd[1], cmd[2])
+                    conn.send(("ready",))
+                elif kind == "finish":
+                    conn.send(("columns", self._gather()))
+                    return
+                else:
+                    raise RuntimeError(f"unknown command {kind!r}")
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                pass
+        finally:
+            conn.close()
+
+    def _write_slabs(self):
+        """Flush the staged per-(destination, tag) slabs into this worker's
+        shared-memory segment; anything past its capacity travels inline
+        over the pipe instead (correctness never depends on the size)."""
+        seg = self.segments[self.wid]
+        buf = seg.buf
+        capacity = seg.size
+        offset = 0
+        directory = []
+        inline = []
+        for dest in range(self._w):
+            stages = self._stage[dest]
+            for tag in self._tag_ids:
+                stage = stages[tag]
+                count = len(stage.dsts)
+                if count == 0:
+                    continue
+                dst_bytes = stage.dsts.tobytes()
+                sender_bytes = np.repeat(
+                    np.asarray(stage.senders, dtype=np.int32),
+                    np.asarray(stage.counts, dtype=np.int64),
+                ).tobytes()
+                payload = bytes(stage.payload)
+                total = len(dst_bytes) + len(sender_bytes) + len(payload)
+                if offset + total <= capacity:
+                    buf[offset : offset + len(dst_bytes)] = dst_bytes
+                    mid = offset + len(dst_bytes)
+                    buf[mid : mid + len(sender_bytes)] = sender_bytes
+                    pay = mid + len(sender_bytes)
+                    buf[pay : pay + len(payload)] = payload
+                    directory.append((dest, tag, count, offset, len(payload)))
+                    offset += total
+                else:
+                    inline.append((dest, tag, count, dst_bytes, sender_bytes, payload))
+                self._stage[dest][tag] = _TagStage()
+        return directory, inline
+
+    def _read_slabs(self, directories, inlines) -> None:
+        """Build next superstep's inbox from every worker's slabs destined
+        here, merged per tag by sender id (stable) — the simulator's exact
+        per-receiver order."""
+        wid = self.wid
+        per_tag: dict[int, list] = {tag: [] for tag in self._tag_ids}
+        for source, directory in enumerate(directories):
+            seg_buf = self.segments[source].buf
+            for dest, tag, count, offset, payload_len in directory:
+                if dest != wid:
+                    continue
+                mid = offset + 4 * count
+                pay = mid + 4 * count
+                dst = np.frombuffer(bytes(seg_buf[offset:mid]), dtype=np.int32)
+                snd = np.frombuffer(bytes(seg_buf[mid:pay]), dtype=np.int32)
+                payload = bytes(seg_buf[pay : pay + payload_len])
+                per_tag[tag].append((dst, snd, payload, count))
+        for source, entries in enumerate(inlines):
+            for dest, tag, count, dst_bytes, sender_bytes, payload in entries:
+                if dest != wid:
+                    continue
+                per_tag[tag].append(
+                    (
+                        np.frombuffer(dst_bytes, dtype=np.int32),
+                        np.frombuffer(sender_bytes, dtype=np.int32),
+                        payload,
+                        count,
+                    )
+                )
+        inbox = self._inbox
+        for tag in self._tag_ids:
+            parts = per_tag[tag]
+            if not parts:
+                continue
+            if len(parts) == 1:
+                dst_all, snd_all, payload, count = parts[0]
+                records = self._unpack[tag](payload, count)
+            else:
+                dst_all = np.concatenate([p[0] for p in parts])
+                snd_all = np.concatenate([p[1] for p in parts])
+                records = []
+                for _dst, _snd, payload, count in parts:
+                    records.extend(self._unpack[tag](payload, count))
+            # Two stable sorts: first by sender (reconstructing the
+            # simulator's global send order), then by receiver (grouping
+            # bucket fills into list slices instead of per-record appends).
+            by_sender = np.argsort(snd_all, kind="stable")
+            order = by_sender[np.argsort(dst_all[by_sender], kind="stable")]
+            sorted_dsts = dst_all[order]
+            sorted_recs = [records[i] for i in order.tolist()]
+            cuts = np.flatnonzero(sorted_dsts[1:] != sorted_dsts[:-1]) + 1
+            starts = [0, *cuts.tolist()]
+            ends = [*cuts.tolist(), len(sorted_recs)]
+            for dst, a, b in zip(sorted_dsts[starts].tolist(), starts, ends):
+                bucket = inbox.get(dst)
+                if bucket is None:
+                    inbox[dst] = sorted_recs[a:b]
+                else:
+                    bucket.extend(sorted_recs[a:b])
+
+    def _gather(self) -> dict:
+        engine = self.engine
+        n = engine.graph.num_nodes
+        w = self._w
+        out = {}
+        for name, column in engine._columns.items():
+            if isinstance(column, array):
+                out[name] = column[self.wid :: w].tolist()
+            else:
+                out[name] = [column[v] for v in range(self.wid, n, w)]
+        return out
+
+
+class MPBackend(ExecutionBackend):
+    name = "mp"
+    supports = {
+        "ft": False,
+        "net": False,
+        "mem": False,
+        "supervisor": False,
+        "tracer": False,
+        "combiners": False,
+        "voting": False,
+        "track_makespan": False,
+        "range_partitioning": False,
+    }
+
+    def build_columns(self, schema, graph, fields, args):
+        return build_typed_columns(schema, fields)
+
+    def create_engine(
+        self,
+        graph: Graph,
+        *,
+        master_compute: Callable,
+        message_size: Callable[[tuple], int],
+        schema,
+        engine_opts: dict,
+    ) -> MPEngine:
+        return MPEngine(
+            graph,
+            schema=schema,
+            master_compute=master_compute,
+            message_size=message_size,
+            **engine_opts,
+        )
+
+    def column_values(self, column) -> list:
+        return column.tolist() if isinstance(column, array) else column

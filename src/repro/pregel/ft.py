@@ -49,6 +49,7 @@ from __future__ import annotations
 import pickle
 import random
 import time
+from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
@@ -93,7 +94,12 @@ class ColumnState:
         for name, saved in state.items():
             col = self.columns[name]
             if vertices is None:
-                col[:] = saved
+                if isinstance(col, array):
+                    # Typed backend column: slice-assignment needs an array
+                    # of the same typecode, not the checkpointed list.
+                    col[:] = array(col.typecode, saved)
+                else:
+                    col[:] = saved
             else:
                 for v in vertices:
                     col[v] = saved[v]

@@ -88,6 +88,10 @@ class RunMetrics:
     wall_seconds: float = 0.0
     result: Any = None
     halt_reason: str = ""
+    #: which execution backend produced this ledger ("sim", "columnar",
+    #: "mp"); descriptive only — deliberately outside parity_key(), which
+    #: must be bit-identical *across* backends.
+    backend: str = "sim"
     per_superstep_messages: list[int] = field(default_factory=list)
     #: send() calls per worker over the whole run (hash partitioning); the
     #: spread measures the load imbalance skewed graphs inflict on a real
@@ -196,7 +200,8 @@ class RunMetrics:
         text = (
             f"supersteps={self.supersteps} messages={self.messages} "
             f"bytes={self.message_bytes} net_bytes={self.net_bytes} "
-            f"halt={self.halt_reason or '?'} wall={self.wall_seconds:.3f}s"
+            f"halt={self.halt_reason or '?'} wall={self.wall_seconds:.3f}s "
+            f"backend={self.backend}"
         )
         if self.checkpoints_taken or self.faults_injected:
             text += (
@@ -510,6 +515,26 @@ class PregelEngine:
         for dst in graph.out_targets[graph.out_offsets[vid] : graph.out_offsets[vid + 1]]:
             self.send(dst, msg)
 
+    def send_nbrs(self, vid: int, msg: tuple) -> None:
+        """Bulk send: ``msg`` to every out-neighbor of ``vid``.
+
+        Generated code emits this for loop-invariant payloads so typed
+        backends can stage one packed record per neighbor block; here it is
+        the plain per-neighbor loop through ``self.send`` (which picks up
+        the traced-send instance shadow when tracing is installed).
+        """
+        graph = self.graph
+        send = self.send
+        for dst in graph.out_targets[graph.out_offsets[vid] : graph.out_offsets[vid + 1]]:
+            send(dst, msg)
+
+    def send_list(self, dsts: list, msg: tuple) -> None:
+        """Bulk send: ``msg`` to every vertex in ``dsts`` (in-neighbor
+        sends through the Incoming-Neighbors prologue's ``_in_nbrs``)."""
+        send = self.send
+        for dst in dsts:
+            send(dst, msg)
+
     def get_global(self, name: str) -> Any:
         return self.globals.broadcast[name]
 
@@ -822,6 +847,43 @@ class PregelEngine:
             )
         return self.metrics
 
+    def _deliver_batched(self, mem, mem_limited, transport) -> None:
+        """Route the per-destination-worker outbox batches into the dense
+        inbox index at the barrier (frontier mode's delivery step).  The
+        drained dicts are reused as next superstep's outboxes (double
+        buffering).  Execution backends override this hook to swap the
+        staging representation (e.g. typed message slabs) while keeping the
+        run loop — and the barrier it synchronizes at — unchanged."""
+        incoming = self._out_parts
+        self._out_parts = self._in_parts
+        self._in_parts = incoming
+        touched = self._touched
+        touched.clear()
+        slots = self._inbox_slots
+        receiving = touched.append
+        if mem_limited:
+            # Credit-controlled routing: same worker order, same
+            # per-receiver message order, bounded by the budget
+            # (split runs re-merge ahead of the residual batch).
+            mem.deliver_batched(incoming, receiving)
+        elif transport is None:
+            for part in incoming:
+                if part:
+                    for dst, msgs in part.items():
+                        slots[dst] = msgs
+                        receiving(dst)
+                    part.clear()
+        else:
+            # Each destination worker's batch crosses the simulated
+            # channel; the reliable protocol hands back the exact
+            # sent stream (faults cost retransmissions, not data).
+            for wid, part in enumerate(incoming):
+                if part:
+                    for dst, msgs in transport.route_part(wid, part).items():
+                        slots[dst] = msgs
+                        receiving(dst)
+                    part.clear()
+
     def _run_loop(self, halt_reason, tracer, traced, mem, mem_limited) -> str:
         graph = self.graph
         n = graph.num_nodes
@@ -889,35 +951,8 @@ class PregelEngine:
             # reused as next superstep's outboxes (double buffering).  Dense
             # mode keeps the classic dict swap.
             if batched:
-                incoming = self._out_parts
-                self._out_parts = self._in_parts
-                self._in_parts = incoming
+                self._deliver_batched(mem, mem_limited, transport)
                 touched = self._touched
-                touched.clear()
-                slots = self._inbox_slots
-                receiving = touched.append
-                if mem_limited:
-                    # Credit-controlled routing: same worker order, same
-                    # per-receiver message order, bounded by the budget
-                    # (split runs re-merge ahead of the residual batch).
-                    mem.deliver_batched(incoming, receiving)
-                elif transport is None:
-                    for part in incoming:
-                        if part:
-                            for dst, msgs in part.items():
-                                slots[dst] = msgs
-                                receiving(dst)
-                            part.clear()
-                else:
-                    # Each destination worker's batch crosses the simulated
-                    # channel; the reliable protocol hands back the exact
-                    # sent stream (faults cost retransmissions, not data).
-                    for wid, part in enumerate(incoming):
-                        if part:
-                            for dst, msgs in transport.route_part(wid, part).items():
-                                slots[dst] = msgs
-                                receiving(dst)
-                            part.clear()
             elif mem_limited:
                 staged = self._outbox
                 self._outbox = {}

@@ -367,6 +367,10 @@ class PregelIR:
     params: list[ParamSpec]
     return_type: ty.Type | None
     needs_in_nbrs: bool = False
+    #: Typed storage/wire schema (repro.pregelir.schema.ProgramSchema),
+    #: attached at codegen time — after the optimizer has finished mutating
+    #: phases and message layouts, so it can never go stale.
+    schema: Any = None
 
     @property
     def tagged(self) -> bool:

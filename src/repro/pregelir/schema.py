@@ -1,0 +1,158 @@
+"""Typed program schema for the columnar data plane (§4.3 message classes).
+
+The paper's compiler derives one message class per program — a fixed-layout
+struct whose fields are the union of every communication's payload (§4.3,
+Message Class Gen.).  The simulator only used the *sizes* of those layouts
+(for byte metering); the columnar and multiprocessing backends need the full
+layout: per-vertex-property storage types and per-tag wire formats, so vertex
+state can live in typed columns and messages can travel as packed structs
+instead of pickled tuples.
+
+``derive_schema`` computes that schema from a (post-optimization) PregelIR:
+
+* **columns** — an ``array.array`` typecode per vertex field.  ``array``
+  columns index to native Python scalars, so generated code is semantically
+  identical on lists and columns (``gm_div``'s ``type(x) is int`` dispatch,
+  ``repr``, hashing).  Green-Marl Int/Long columns escalate to ``'d'`` when
+  the program mentions INF (e.g. SSSP's ``dist``): CPython models INF as a
+  float, which a ``'q'`` column cannot hold;
+* **tags** — a ``struct`` format per message tag.  Integral payload slots
+  stay 4/8 bytes with INF carried as a reserved sentinel (``INT32_MAX`` /
+  ``INT32_MIN``); Float slots travel as 8-byte doubles, because CPython
+  floats *are* doubles and truncating to float32 on the wire would change
+  results versus the tuple-passing simulator.  The wire sizes are the byte
+  counts all backends meter, so ``message_bytes`` is the actual slab size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields as dc_fields
+
+from ..lang import types as ty
+from .ir import Inf, Lit, MInstr, PregelIR, VExpr, VStmt, VertexPhase
+
+INT32_MAX = 2**31 - 1
+INT32_MIN = -(2**31)
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+_WIRE_SIZE = {"?": 1, "i": 4, "q": 8, "d": 8}
+
+
+@dataclass(frozen=True)
+class SlotSchema:
+    """One payload field on the wire."""
+
+    name: str
+    code: str            # struct code: '?', 'i', 'q', or 'd'
+    size: int            # standard (unaligned) struct size
+    inf_sentinel: bool   # integral slot that may carry ±INF as a sentinel
+
+
+@dataclass(frozen=True)
+class TagSchema:
+    """Fixed wire layout of one message tag."""
+
+    tag: int
+    label: str
+    slots: tuple[SlotSchema, ...]
+    fmt: str             # complete struct format ('<', tag byte when tagged)
+    size: int            # bytes per record on the wire
+
+
+@dataclass
+class ProgramSchema:
+    """Everything a typed backend needs to lay out one program's data."""
+
+    name: str
+    tagged: bool
+    has_inf: bool
+    #: vertex field -> array.array typecode ('b', 'q', or 'd')
+    columns: dict[str, str]
+    tags: dict[int, TagSchema]
+
+    def message_size(self, tag: int) -> int:
+        return self.tags[tag].size
+
+    def max_message_size(self) -> int:
+        return max((t.size for t in self.tags.values()), default=0)
+
+
+def _column_code(t: ty.Type, has_inf: bool) -> str:
+    if isinstance(t, ty.PrimType):
+        if t.prim is ty.Prim.BOOL:
+            return "b"
+        if t.prim in (ty.Prim.FLOAT, ty.Prim.DOUBLE):
+            return "d"
+        # INT / LONG: a program that mentions INF may store it in any of its
+        # integral fields (SSSP's dist); Python's INF is a float, so those
+        # columns escalate to doubles.  Exact int arithmetic survives: the
+        # wire re-integerizes (see _encoder) and == compares 5.0 to 5.
+        return "d" if has_inf else "q"
+    if t.is_node() or t.is_edge():
+        return "q"  # ids are small ints; NIL is -1, never INF
+    raise ValueError(f"vertex field type {t} has no columnar representation")
+
+
+def _wire_slot(name: str, t: ty.Type, has_inf: bool) -> SlotSchema:
+    if isinstance(t, ty.PrimType):
+        if t.prim is ty.Prim.BOOL:
+            return SlotSchema(name, "?", 1, False)
+        if t.prim in (ty.Prim.FLOAT, ty.Prim.DOUBLE):
+            # CPython floats are doubles; a 4-byte Float slot would truncate
+            # and break bit-parity with the tuple-passing simulator.
+            return SlotSchema(name, "d", 8, False)
+        if t.prim is ty.Prim.LONG:
+            return SlotSchema(name, "q", 8, has_inf)
+        return SlotSchema(name, "i", 4, has_inf)
+    if t.is_node() or t.is_edge():
+        return SlotSchema(name, "i", 4, False)
+    raise ValueError(f"message payload type {t} has no wire representation")
+
+
+def _node_has_inf(node) -> bool:
+    if isinstance(node, Inf):
+        return True
+    if isinstance(node, Lit):
+        return isinstance(node.value, float) and math.isinf(node.value)
+    if isinstance(node, (list, tuple)):
+        return any(_node_has_inf(item) for item in node)
+    if isinstance(node, (VExpr, VStmt, MInstr)):
+        return any(_node_has_inf(getattr(node, f.name)) for f in dc_fields(node))
+    return False
+
+
+def _program_has_inf(ir: PregelIR) -> bool:
+    for phase in ir.phases.values():
+        assert isinstance(phase, VertexPhase)
+        if _node_has_inf(phase.receive) or _node_has_inf(phase.compute):
+            return True
+        if phase.filter is not None and _node_has_inf(phase.filter):
+            return True
+    return _node_has_inf(ir.master_code)
+
+
+def derive_schema(ir: PregelIR) -> ProgramSchema:
+    """Compute the typed storage/wire schema of a compiled program."""
+    has_inf = _program_has_inf(ir)
+    columns = {
+        name: _column_code(t, has_inf) for name, t in ir.vertex_fields.items()
+    }
+    tagged = ir.tagged
+    tags: dict[int, TagSchema] = {}
+    for tag in sorted(ir.messages):
+        layout = ir.messages[tag]
+        slots = tuple(
+            _wire_slot(fname, t, has_inf) for fname, t in layout.fields
+        )
+        fmt = "<" + ("B" if tagged else "") + "".join(s.code for s in slots)
+        size = (1 if tagged else 0) + sum(s.size for s in slots)
+        tags[tag] = TagSchema(tag, layout.label, slots, fmt, size)
+    return ProgramSchema(
+        name=ir.name,
+        tagged=tagged,
+        has_inf=has_inf,
+        columns=columns,
+        tags=tags,
+    )

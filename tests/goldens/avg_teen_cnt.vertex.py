@@ -8,8 +8,7 @@ def make_vertex_compute(env):
         if ((F_age[vid] >= 13) and (F_age[vid] <= 19)):
             if OUT_OFF[vid] != OUT_OFF[vid + 1]:
                 _msg = (0,)
-                for _i in range(OUT_OFF[vid], OUT_OFF[vid + 1]):
-                    ctx.send(OUT_TGT[_i], _msg)
+                ctx.send_nbrs(vid, _msg)
     
     def _phase_2(ctx, vid, messages):
         # recv@4+par@4+par@7+par@7

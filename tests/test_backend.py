@@ -1,0 +1,247 @@
+"""Execution backends: cross-backend parity matrix + codec + mp smoke.
+
+The contract under test: every backend is observationally identical on
+``RunMetrics.parity_key()`` and on program outputs — the dict simulator
+(the oracle), the columnar data plane, and the multiprocessing backend
+may only differ in wall time, memory, and the ``metrics.backend`` label.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import default_args
+from repro.compiler import compile_algorithm
+from repro.graphgen.registry import load_graph
+from repro.pregel.backend import BACKENDS, BackendUnsupported, get_backend
+from repro.pregel.backend.codec import MessageCodec
+from repro.pregel.backend.mp import mp_available
+from repro.pregel.ft import CrashEvent, FaultPlan, FaultTolerance
+from repro.pregelir.ir import INF_VALUE
+
+ALGORITHMS = (
+    "avg_teen_cnt",
+    "pagerank",
+    "conductance",
+    "sssp",
+    "bipartite_matching",
+    "bc_approx",
+)
+
+needs_mp = pytest.mark.skipif(
+    not mp_available(),
+    reason="needs fork start-method and multiprocessing.shared_memory",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_graph("twitter", 0.15)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {alg: compile_algorithm(alg).program for alg in ALGORITHMS}
+
+
+def run_on(programs, graph, alg, backend, **opts):
+    program = programs[alg]
+    return program.run(graph, default_args(alg, graph), backend=backend, **opts)
+
+
+def assert_parity(oracle, other, *, ignore_partition_keys=False):
+    key_a = oracle.metrics.parity_key()
+    key_b = other.metrics.parity_key()
+    if ignore_partition_keys:
+        # Cross-worker-count comparison: the per-worker sent split and the
+        # cross-worker traffic depend on the partitioning (identically so
+        # on the simulator), so only the partition-independent keys and
+        # the outputs must match.
+        for key in ("worker_sent", "net_messages", "net_bytes"):
+            key_a.pop(key)
+            key_b.pop(key)
+    assert key_a == key_b
+    assert oracle.outputs == other.outputs
+    assert oracle.result == other.result
+
+
+class TestColumnarParityMatrix:
+    """6 algorithms x {frontier, dense} x {sim, columnar}: bit-identical."""
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    @pytest.mark.parametrize("scheduling", ("frontier", "dense"))
+    def test_matrix(self, programs, graph, alg, scheduling):
+        sim = run_on(programs, graph, alg, "sim", scheduling=scheduling)
+        col = run_on(programs, graph, alg, "columnar", scheduling=scheduling)
+        assert sim.metrics.backend == "sim"
+        assert col.metrics.backend == "columnar"
+        assert_parity(sim, col)
+
+    @pytest.mark.parametrize("alg", ("pagerank", "sssp"))
+    def test_typed_columns_round_trip_outputs_as_lists(self, programs, graph, alg):
+        col = run_on(programs, graph, alg, "columnar")
+        for column in col.outputs.values():
+            assert isinstance(column, list)
+
+    def test_backend_outside_parity_key(self, programs, graph):
+        run = run_on(programs, graph, "pagerank", "columnar")
+        assert "backend" not in run.metrics.parity_key()
+        assert "backend=columnar" in run.metrics.summary()
+
+
+class TestColumnarFallbacks:
+    """Robustness features keep working on columnar via tuple staging."""
+
+    def test_ft_crash_recovery_parity(self, programs, graph):
+        plan = FaultPlan(checkpoint_every=2, crashes=(CrashEvent(1, 3),))
+        sim = run_on(programs, graph, "pagerank", "sim", ft=FaultTolerance(plan))
+        plan = FaultPlan(checkpoint_every=2, crashes=(CrashEvent(1, 3),))
+        col = run_on(programs, graph, "pagerank", "columnar", ft=FaultTolerance(plan))
+        assert sim.metrics.faults_injected == col.metrics.faults_injected == 1
+        assert_parity(sim, col)
+
+    def test_combiners_parity(self, programs, graph):
+        sim = run_on(programs, graph, "sssp", "sim", use_combiners=True)
+        col = run_on(programs, graph, "sssp", "columnar", use_combiners=True)
+        assert_parity(sim, col)
+
+    def test_tracer_sees_same_superstep_stream(self, programs, graph):
+        from repro.obs import Tracer
+
+        traces = {}
+        for backend in ("sim", "columnar"):
+            tracer = Tracer()
+            run_on(programs, graph, "pagerank", backend, tracer=tracer)
+            traces[backend] = [
+                e.det for e in tracer.events if e.name == "superstep"
+            ]
+        assert traces["sim"] == traces["columnar"]
+
+
+@needs_mp
+class TestMultiprocessingBackend:
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_parity_against_sim(self, programs, graph, alg):
+        sim = run_on(programs, graph, alg, "sim", num_workers=2)
+        mp = run_on(programs, graph, alg, "mp", num_workers=2)
+        assert mp.metrics.backend == "mp"
+        assert_parity(sim, mp)
+
+    @pytest.mark.parametrize("workers", (1, 3))
+    def test_worker_count_invariance(self, programs, graph, workers):
+        base = run_on(programs, graph, "sssp", "sim", num_workers=4)
+        mp = run_on(programs, graph, "sssp", "mp", num_workers=workers)
+        assert_parity(base, mp, ignore_partition_keys=True)
+        assert sum(mp.metrics.worker_sent) == sum(base.metrics.worker_sent)
+        # and at equal worker counts the cross-worker traffic matches too
+        same_w = run_on(programs, graph, "sssp", "mp", num_workers=4)
+        assert_parity(base, same_w)
+
+    def test_slab_overflow_falls_back_to_inline(self, programs, graph):
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=2)
+        # A segment too small for any slab: every exchange rides the pipe.
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2, mp_slab_bytes=64
+        )
+        assert_parity(sim, mp)
+
+    @pytest.mark.parametrize(
+        "opts",
+        (
+            {"ft": "FT"},
+            {"use_combiners": True},
+            {"track_makespan": True},
+            {"partitioning": "range"},
+        ),
+        ids=("ft", "combiners", "makespan", "range"),
+    )
+    def test_unsupported_compositions_refuse_cleanly(self, programs, graph, opts):
+        if opts.get("ft") == "FT":
+            opts = {"ft": FaultTolerance(FaultPlan(checkpoint_every=2))}
+        with pytest.raises(BackendUnsupported):
+            run_on(programs, graph, "pagerank", "mp", num_workers=2, **opts)
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert BACKENDS == ("sim", "columnar", "mp")
+        for name in ("sim", "columnar"):
+            assert get_backend(name).name == name
+
+    def test_instance_passthrough(self):
+        backend = get_backend("columnar")
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+
+
+class TestMessageCodec:
+    def roundtrip(self, alg, messages):
+        schema = compile_algorithm(alg).program.schema
+        codec = MessageCodec(schema)
+        by_tag = {}
+        for msg in messages:
+            by_tag.setdefault(msg[0], []).append(msg)
+        for tag, msgs in by_tag.items():
+            blob = b"".join(codec.pack[tag](m) for m in msgs)
+            assert len(blob) == codec.sizes[tag] * len(msgs)
+            assert codec.unpack[tag](blob, len(msgs)) == msgs
+        return codec
+
+    def test_pagerank_doubles(self):
+        codec = self.roundtrip("pagerank", [(0, 0.125), (0, 1e-300)])
+        assert codec.sizes[0] == 8  # untagged [Double]
+
+    def test_sssp_int_with_inf_sentinel(self):
+        codec = self.roundtrip("sssp", [(0, 7), (0, INF_VALUE), (0, 0)])
+        assert codec.sizes[0] == 4  # untagged [Int], INF via sentinel
+        # escalated double columns send exact ints back
+        schema = compile_algorithm("sssp").program.schema
+        c2 = MessageCodec(schema)
+        assert c2.unpack[0](c2.pack[0]((0, 5.0)), 1) == [(0, 5)]
+
+    def test_avg_teen_empty_payload(self):
+        self.roundtrip("avg_teen_cnt", [(0,), (0,), (0,)])
+
+    def test_tagged_records_lead_with_tag_byte(self):
+        codec = self.roundtrip(
+            "bipartite_matching", [(1, 3), (1, 9), (2, 4)]
+        )
+        assert all(size == 5 for size in codec.sizes.values())  # B + i
+
+
+class TestCLI:
+    ARGS = ["--scale", "0.05", "--arg", "e=1e-9", "--arg", "d=0.85",
+            "--arg", "max_iter=3"]
+
+    def gm(self, name):
+        from repro.algorithms.sources import source_path
+
+        return str(source_path(name))
+
+    def test_backend_flag_runs_columnar(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", self.gm("pagerank"), *self.ARGS,
+                     "--backend", "columnar"])
+        assert code == 0
+        assert "backend=columnar" in capsys.readouterr().out
+
+    def test_unknown_backend_is_exit_2(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS, "--backend", "gpu"])
+        assert exc.value.code == 2
+
+    @needs_mp
+    def test_mp_refuses_checkpointing_as_usage_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS,
+                  "--backend", "mp", "--checkpoint-every", "2"])
+        assert exc.value.code == 2
+        assert "does not support" in capsys.readouterr().err
