@@ -186,12 +186,39 @@ def _build_mem(ns: argparse.Namespace):
     return MemoryManager(plan)
 
 
+def _validate_backend_composition(ns: argparse.Namespace) -> None:
+    """Refuse unsupported backend/feature compositions *before* the graph
+    loads.  The engine constructor re-checks (it is the authority), but by
+    then the CLI has spent seconds generating a large graph — validating
+    from the flags alone makes ``--backend mp --net-faults ...`` on a
+    1M-vertex graph fail in milliseconds, with the identical exit-2
+    message, because both paths share :func:`composition_refusals`."""
+    if ns.backend != "mp":
+        return
+    from .pregel.backend.mp import composition_refusals, mp_available
+
+    sentinel = object()
+    refusals = composition_refusals(
+        transport=sentinel if ns.net_faults else None,
+        supervisor=sentinel if ns.heartbeat else None,
+        mem=sentinel if ns.mem_budget else None,
+    )
+    if refusals:
+        raise _die(refusals[0])
+    if not mp_available():
+        raise _die(
+            "the mp backend needs fork start-method and "
+            "multiprocessing.shared_memory, unavailable on this platform"
+        )
+
+
 def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
     """Compile and run ``ns.file``, threading one tracer through the compiler
     and the engine when tracing is requested (or forced by the subcommand).
     Returns ``(graph, run, tracer)``; trace/metrics exports are written here
     so every run-shaped subcommand shares them."""
     _validate_run_shape(ns)
+    _validate_backend_composition(ns)
     tracer = None
     if force_trace or ns.trace or ns.trace_chrome:
         from .obs import Tracer

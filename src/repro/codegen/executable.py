@@ -626,6 +626,12 @@ class CompiledProgram:
         )
         env["B"] = engine.globals.broadcast
         engine._vertex_compute = self._factory(env)
+        if hasattr(engine, "install_bulk_receivers"):
+            from .vectorize import build_bulk_receivers
+
+            engine.install_bulk_receivers(
+                build_bulk_receivers(self.ir, self.schema, fields, env["B"])
+            )
         if hasattr(engine, "_columns"):
             # The mp backend's parent process scatters the workers'
             # partitions back into these columns after the run.

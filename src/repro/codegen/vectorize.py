@@ -1,0 +1,382 @@
+"""Vectorized bulk receive handlers for the columnar data plane.
+
+The PR 6 sweep showed the per-message receive loop (struct-unpack one
+record, run the generated ``for _m in messages`` body) is the dominant
+cost of the columnar backend.  This module compiles eligible receive
+loops into *bulk* handlers that consume a whole per-tag slab at the
+delivery barrier: decode the packed payload into typed numpy columns
+once, then apply each reduction with ``np.ufunc.at`` over the
+destination-vertex array.
+
+Bit-parity with the simulator is the hard constraint, which dictates
+the design:
+
+* ``np.ufunc.at`` applies updates sequentially in index order, i.e. in
+  global send order — exactly the fold order the simulator's
+  per-message loop uses for any single receiver (``np.add.reduceat``
+  would use pairwise summation and break float parity, so it is not
+  used);
+* a loop is vectorized only when every statement is a plain field
+  reduction (``SUM``/``PRODUCT``/``MIN``/``MAX``), optionally guarded
+  by a side-effect-free condition, and the set of fields *written* by
+  the loop is disjoint from the set of fields *read* anywhere in the
+  phase's receive statements — so evaluating guards and values against
+  pre-delivery column state is indistinguishable from the simulator's
+  message-at-a-time interleaving;
+* guarded reductions evaluate their value expression only over the
+  masked selection, preserving the simulator's guarantee that the
+  guard protects hazardous expressions (e.g. divisions).
+
+Anything outside those rules (assignments, ``put_global``, in-neighbor
+appends, cross-statement field dependences, INF-sentinel payload
+slots) leaves the whole phase on the scalar path.  Handlers are keyed
+by ``(phase_state, tag)`` and engage only on the columnar slab fast
+path, where messages for a consumed tag then bypass inbox slot-fill
+entirely.
+"""
+
+from __future__ import annotations
+
+import operator
+from array import array
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..lang.ast import BinOp, UnOp
+from ..pregel.globalmap import GlobalOp
+from ..pregelir.ir import (
+    Bin,
+    Field,
+    GlobalGet,
+    Inf,
+    Lit,
+    MsgField,
+    MyId,
+    INF_VALUE,
+    PregelIR,
+    Un,
+    VExpr,
+    VFieldReduce,
+    VIf,
+    VMsgLoop,
+)
+
+try:  # numpy is optional for the simulator; required for vectorization
+    import numpy as _np
+except ImportError:  # pragma: no cover - baked into the container
+    _np = None
+
+__all__ = ["build_bulk_receivers"]
+
+# struct slot code -> numpy field dtype (packed, little-endian)
+_SLOT_DTYPES = {"?": "u1", "i": "<i4", "q": "<i8", "d": "<f8"}
+# array.array column typecode -> numpy view dtype
+_COLUMN_DTYPES = {"b": "i1", "q": "<i8", "d": "<f8"}
+
+_ARITH = {
+    BinOp.ADD: operator.add,
+    BinOp.SUB: operator.sub,
+    BinOp.MUL: operator.mul,
+    BinOp.MOD: operator.mod,
+}
+_COMPARE = {
+    BinOp.EQ: operator.eq,
+    BinOp.NEQ: operator.ne,
+    BinOp.LT: operator.lt,
+    BinOp.GT: operator.gt,
+    BinOp.LE: operator.le,
+    BinOp.GE: operator.ge,
+}
+
+
+class _Unvectorizable(Exception):
+    """Raised while analysing a loop that must stay on the scalar path."""
+
+
+def _vec_gm_div(a: Any, b: Any) -> Any:
+    """Vectorized Green-Marl division (Int/Int truncates toward zero)."""
+
+    def _integral(x: Any) -> bool:
+        if isinstance(x, bool):
+            return False
+        if isinstance(x, (int, _np.integer)):
+            return True
+        return isinstance(x, _np.ndarray) and x.dtype.kind in "iu"
+
+    if _integral(a) and _integral(b):
+        q = _np.abs(a) // _np.abs(b)
+        return _np.where(_np.equal(_np.greater_equal(a, 0), _np.greater_equal(b, 0)), q, -q)
+    return _np.true_divide(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation (tree -> closure over a per-call context)
+# ---------------------------------------------------------------------------
+#
+# The context dict carries:
+#   "sel"   - the destination-vertex index array for this evaluation
+#   "msg"   - {slot index: decoded payload column}, masked in step with sel
+#   "B"     - the live broadcast dict
+#   "views" - {field name: writable numpy view over its array column}
+
+
+def _compile_expr(e: VExpr, reads: set, msg_used: set) -> Callable[[dict], Any]:
+    if isinstance(e, Lit):
+        value = e.value
+        return lambda ctx: value
+    if isinstance(e, Inf):
+        value = -INF_VALUE if e.negative else INF_VALUE
+        return lambda ctx: value
+    if isinstance(e, GlobalGet):
+        name = e.name
+        return lambda ctx: ctx["B"][name]
+    if isinstance(e, Field):
+        name = e.name
+        reads.add(name)
+        return lambda ctx: ctx["views"][name][ctx["sel"]]
+    if isinstance(e, MsgField):
+        index = e.index
+        msg_used.add(index)
+        return lambda ctx: ctx["msg"][index]
+    if isinstance(e, MyId):
+        return lambda ctx: ctx["sel"]
+    if isinstance(e, Bin):
+        lhs = _compile_expr(e.lhs, reads, msg_used)
+        rhs = _compile_expr(e.rhs, reads, msg_used)
+        if e.op is BinOp.DIV:
+            return lambda ctx: _vec_gm_div(lhs(ctx), rhs(ctx))
+        if e.op is BinOp.AND:
+            return lambda ctx: _np.logical_and(lhs(ctx), rhs(ctx))
+        if e.op is BinOp.OR:
+            return lambda ctx: _np.logical_or(lhs(ctx), rhs(ctx))
+        fn = _ARITH.get(e.op) or _COMPARE.get(e.op)
+        if fn is None:
+            raise _Unvectorizable(f"binary op {e.op}")
+        return lambda ctx: fn(lhs(ctx), rhs(ctx))
+    if isinstance(e, Un):
+        operand = _compile_expr(e.operand, reads, msg_used)
+        if e.op is UnOp.NEG:
+            return lambda ctx: -operand(ctx)
+        if e.op is UnOp.NOT:
+            return lambda ctx: _np.logical_not(operand(ctx))
+        return lambda ctx: _np.abs(operand(ctx))
+    raise _Unvectorizable(f"expression {type(e).__name__}")
+
+
+def _expr_kind(e: VExpr, columns: dict, slot_codes: dict) -> Optional[str]:
+    """Statically classify an expression as integral ('i'), float ('f'),
+    or unknown (None) — used to refuse float folds into integer columns."""
+    if isinstance(e, Lit):
+        if isinstance(e.value, bool):
+            return "i"
+        return "i" if isinstance(e.value, int) else "f"
+    if isinstance(e, Inf):
+        return "f"
+    if isinstance(e, Field):
+        col = columns.get(e.name)
+        code = col.typecode if isinstance(col, array) else None
+        return {"b": "i", "q": "i", "d": "f"}.get(code)
+    if isinstance(e, MsgField):
+        return {"?": "i", "i": "i", "q": "i", "d": "f"}.get(slot_codes.get(e.index))
+    if isinstance(e, MyId):
+        return "i"
+    if isinstance(e, Bin):
+        if e.op is BinOp.DIV:
+            return None  # gm_div result kind depends on runtime types
+        if e.op in _COMPARE or e.op in (BinOp.AND, BinOp.OR):
+            return "i"
+        lhs = _expr_kind(e.lhs, columns, slot_codes)
+        rhs = _expr_kind(e.rhs, columns, slot_codes)
+        if lhs == "i" and rhs == "i":
+            return "i"
+        if lhs in ("i", "f") and rhs in ("i", "f"):
+            return "f"
+        return None
+    if isinstance(e, Un):
+        if e.op is UnOp.NOT:
+            return "i"
+        return _expr_kind(e.operand, columns, slot_codes)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Loop / phase analysis
+# ---------------------------------------------------------------------------
+
+
+class _Spec:
+    """One vectorizable reduction: ``[if cond:] target op= value``."""
+
+    __slots__ = ("target", "ufunc", "cond", "value", "cond_expr", "value_expr")
+
+    def __init__(self, target, ufunc, cond, value, cond_expr, value_expr):
+        self.target = target
+        self.ufunc = ufunc
+        self.cond = cond
+        self.value = value
+        self.cond_expr = cond_expr
+        self.value_expr = value_expr
+
+
+def _reduce_ufunc(op: GlobalOp):
+    if op is GlobalOp.SUM:
+        return _np.add
+    if op is GlobalOp.PRODUCT:
+        return _np.multiply
+    if op is GlobalOp.MIN:
+        return _np.minimum
+    if op is GlobalOp.MAX:
+        return _np.maximum
+    raise _Unvectorizable(f"reduction op {op}")
+
+
+def _analyse_loop(loop: VMsgLoop, reads: set, msg_used: set):
+    specs = []
+    for stmt in loop.body:
+        if isinstance(stmt, VFieldReduce):
+            guarded = [(None, stmt)]
+        elif (
+            isinstance(stmt, VIf)
+            and not stmt.other
+            and stmt.then
+            and all(isinstance(s, VFieldReduce) for s in stmt.then)
+        ):
+            guarded = [(stmt.cond, s) for s in stmt.then]
+        else:
+            raise _Unvectorizable(f"statement {type(stmt).__name__}")
+        for cond, red in guarded:
+            ufunc = _reduce_ufunc(red.op)
+            cond_fn = _compile_expr(cond, reads, msg_used) if cond is not None else None
+            value_fn = _compile_expr(red.expr, reads, msg_used)
+            specs.append(_Spec(red.name, ufunc, cond_fn, value_fn, cond, red.expr))
+    return specs
+
+
+def _field_view(columns: dict, name: str):
+    col = columns.get(name)
+    if not isinstance(col, array):
+        raise _Unvectorizable(f"column {name} is not a typed array")
+    dtype = _COLUMN_DTYPES.get(col.typecode)
+    if dtype is None:
+        raise _Unvectorizable(f"column {name} typecode {col.typecode}")
+    return _np.frombuffer(col, dtype=dtype)
+
+
+def _record_dtype(tag_schema):
+    fields = []
+    if tag_schema.fmt.startswith("<B"):
+        fields.append(("t", "u1"))
+    slot_codes = {}
+    for i, slot in enumerate(tag_schema.slots):
+        if slot.inf_sentinel:
+            # sentinel re-integerization is a per-value branch; keep scalar
+            raise _Unvectorizable(f"slot {slot.name} carries an INF sentinel")
+        dtype = _SLOT_DTYPES.get(slot.code)
+        if dtype is None:
+            raise _Unvectorizable(f"slot code {slot.code}")
+        fields.append((f"s{i}", dtype))
+        slot_codes[i] = slot.code
+    rec = _np.dtype(fields) if fields else None
+    if rec is not None and rec.itemsize != tag_schema.size:
+        raise _Unvectorizable("record layout mismatch")
+    return rec, slot_codes
+
+
+def _build_phase(phase, tag_schemas, columns, broadcast):
+    """Return {(state, tag): handler} for one phase, or None to stay scalar.
+
+    Vectorization is all-or-nothing per phase: bulk handlers run at the
+    delivery barrier, before any scalar receive loop, so mixing the two
+    within a phase could reorder effects the simulator interleaves.
+    """
+    stmts = phase.receive
+    if not stmts or not all(isinstance(s, VMsgLoop) for s in stmts):
+        return None
+    tags = [s.tag for s in stmts]
+    if len(set(tags)) != len(tags):
+        return None
+
+    handlers = {}
+    reads: set = set()
+    writes = []
+    try:
+        for loop in stmts:
+            tag_schema = tag_schemas.get(loop.tag)
+            if tag_schema is None:
+                raise _Unvectorizable("unknown tag")
+            rec_dtype, slot_codes = _record_dtype(tag_schema)
+            msg_used: set = set()
+            specs = _analyse_loop(loop, reads, msg_used)
+            if any(i not in slot_codes for i in msg_used):
+                raise _Unvectorizable("message field out of range")
+            for spec in specs:
+                writes.append(spec.target)
+                tgt = _field_view(columns, spec.target)
+                if tgt.dtype.kind != "f":
+                    kind = _expr_kind(spec.value_expr, columns, slot_codes)
+                    if kind != "i":
+                        raise _Unvectorizable("non-integral fold into integer column")
+            handlers[(phase.phase_id, loop.tag)] = _make_handler(
+                specs, rec_dtype, sorted(msg_used), columns, reads | set(writes), broadcast
+            )
+        # written fields must be pairwise distinct and never read by the
+        # phase's receive statements (guards included): then per-statement
+        # batched application equals the simulator's per-message order.
+        if len(set(writes)) != len(writes) or set(writes) & reads:
+            raise _Unvectorizable("field dependence between receive statements")
+    except _Unvectorizable:
+        return None
+    return handlers
+
+
+def _make_handler(specs, rec_dtype, msg_fields, columns, touched, broadcast):
+    views = {name: _field_view(columns, name) for name in touched}
+    targets = {spec.target: views[spec.target] for spec in specs}
+
+    def handler(dsts, payload, count):
+        if count == 0:
+            return
+        if len(dsts) != count:
+            dsts = dsts[:count]
+        msg_full: Dict[int, Any] = {}
+        if rec_dtype is not None and msg_fields:
+            rec = _np.frombuffer(payload, dtype=rec_dtype, count=count)
+            for i in msg_fields:
+                msg_full[i] = rec[f"s{i}"]
+        for spec in specs:
+            sel = dsts
+            msg = msg_full
+            if spec.cond is not None:
+                ctx = {"sel": dsts, "msg": msg_full, "B": broadcast, "views": views}
+                mask = spec.cond(ctx)
+                if isinstance(mask, _np.ndarray) and mask.ndim:
+                    sel = dsts[mask]
+                    if not sel.size:
+                        continue
+                    msg = {i: v[mask] for i, v in msg_full.items()}
+                elif not mask:
+                    continue
+            ctx = {"sel": sel, "msg": msg, "B": broadcast, "views": views}
+            spec.ufunc.at(targets[spec.target], sel, spec.value(ctx))
+
+    return handler
+
+
+def build_bulk_receivers(
+    ir: PregelIR, schema, columns: dict, broadcast: dict
+) -> Dict[Tuple[int, int], Callable]:
+    """Compile vectorized receive handlers for every eligible phase.
+
+    ``columns`` maps field name -> its storage column (the same objects
+    the generated vertex source closes over); ``broadcast`` is the live
+    broadcast dict, read at call time for globals and dispatch state.
+    Returns ``{}`` when numpy or the schema is unavailable.
+    """
+    if _np is None or schema is None:
+        return {}
+    handlers: Dict[Tuple[int, int], Callable] = {}
+    tag_schemas = schema.tags
+    for phase in ir.phases.values():
+        built = _build_phase(phase, tag_schemas, columns, broadcast)
+        if built:
+            handlers.update(built)
+    return handlers

@@ -80,6 +80,9 @@ class ColumnarEngine(PregelEngine):
         self.scheduling = requested
         self.schema = schema
         self.metrics.backend = "columnar"
+        #: (phase state, tag) -> vectorized bulk receive handler; installed
+        #: by the code generator, consulted only on the slab fast path.
+        self._bulk_receivers: dict = {}
         tracing = self.tracer is not None and self.tracer.enabled
         self._slab_active = (
             schema is not None
@@ -114,6 +117,18 @@ class ColumnarEngine(PregelEngine):
         same = self._nbr_owner == np.repeat(owner, degrees)
         self._cross_nbrs = (degrees - np.bincount(src[same], minlength=n)).tolist()
         self._enqueue = self._slab_enqueue  # type: ignore[method-assign]
+
+    def install_bulk_receivers(self, handlers: dict) -> None:
+        """Register vectorized receive handlers keyed by (state, tag).
+
+        A registered handler consumes a whole per-tag slab at the delivery
+        barrier — the tag's messages then never reach per-vertex inbox
+        slots, and the scalar receive loop (tag-filtered) sees none of
+        them, so effects are applied exactly once.  Only honored while the
+        slab fast path is active; fallback staging keeps scalar semantics.
+        """
+        if self._slab_active:
+            self._bulk_receivers = handlers
 
     # -- staging --------------------------------------------------------
 
@@ -213,6 +228,16 @@ class ColumnarEngine(PregelEngine):
             self._slab_chunks[tag] = []
             payload = bytes(self._slab_payloads[tag])
             self._slab_payloads[tag] = bytearray()
+            if self._bulk_receivers:
+                # The master has already broadcast this superstep's state,
+                # so the handler keyed by (state, tag) is exactly the
+                # receive loop the vertex phase would run on these records.
+                handler = self._bulk_receivers.get(
+                    (self.globals.broadcast.get("_state"), tag)
+                )
+                if handler is not None:
+                    handler(dsts, payload, len(dsts))
+                    continue
             records = self._codec.unpack[tag](payload, len(dsts))
             # Group by receiver with one stable sort: per-receiver order
             # within a tag stays global send order, and receive code

@@ -7,8 +7,8 @@ columnar backend's typed message slabs through ``multiprocessing.shared_memory``
 segments, and synchronizing at the same batched-routing barrier — here an
 actual parent-coordinated barrier rather than a simulated one.
 
-Determinism (the whole point of the parity contract) is preserved by two
-mechanisms:
+Determinism (the whole point of the parity contract) is preserved by
+order-reconstructing merges at the parent barrier:
 
 * every slab record carries its **sender id**; a receiving worker merges
   the incoming per-source slabs with a stable sort on sender, which
@@ -18,15 +18,34 @@ mechanisms:
 * vertex **global-object puts** ship to the parent as ``(vid, value)``
   streams and are re-folded sequentially in ascending-vid order, so even
   non-associative float reductions (a PageRank error sum) come out
-  bit-identical to the single-process fold.
+  bit-identical to the single-process fold;
+* **combiners** fold per-process at the sender (each worker keeps one slot
+  per ``(dst, tag)``, stamped with the vid of the slot's *first* send);
+  the parent merges all workers' slots with a stable sort on that birth
+  vid, which reconstructs the simulator's combiner-table insertion order
+  (one vid belongs to one worker, so ties stay in per-worker — i.e.
+  program — order), then meters and routes the folded payloads exactly
+  like the simulator's barrier flush;
+* **fault tolerance** checkpoints from the parent: ``checkpoint_state()``
+  first pulls every worker's live partition columns back into the parent's
+  columns (so the registered ``ColumnState`` sees fresh data), and the
+  in-flight message set is the parent's own decode of the last exchange's
+  slabs.  Recovery restores parent-side state — confined replay runs *in
+  the parent* over the restored columns with sends/puts suppressed — and
+  then **re-forks** the affected worker processes from the parent, which
+  inherit the recovered columns copy-on-write and are re-seeded with their
+  partition's in-flight inbox;
+* **tracing** buffers per-process counters (computed, seconds, staged
+  bytes) in each worker's barrier reply; the parent merges them by
+  worker id into the same deterministic superstep records the simulator
+  emits, so ``deterministic_jsonl`` projects identically across backends.
 
-The backend refuses — with :class:`BackendUnsupported` — every feature
-whose semantics it cannot reproduce across process boundaries: fault
-tolerance, the simulated transport, supervision, memory budgets, recording
-tracers, combiners, vote-to-halt, range partitioning, and makespan
-tracking.  Parity therefore holds on the full ``parity_key()`` against the
-sim/columnar backends at equal worker counts, and on everything except the
-per-worker ``worker_sent`` split across different worker counts.
+The backend still refuses — with :class:`BackendUnsupported` — features
+whose semantics it cannot reproduce across process boundaries:
+vote-to-halt, the simulated transport, supervision, memory budgets,
+makespan tracking, and non-hash partitioning.
+:func:`composition_refusals` exposes the refusal list so the CLI can
+validate a composition *before* loading a graph, with identical messages.
 """
 
 from __future__ import annotations
@@ -41,30 +60,104 @@ import numpy as np
 
 from ..globalmap import GlobalObjectMap
 from ..graph import Graph
-from ..runtime import RunMetrics
+from ..runtime import PregelEngine, RunMetrics
 from .base import BackendUnsupported, ExecutionBackend
 from .codec import MessageCodec
 from .columnar import build_typed_columns
 
 _EMPTY: tuple = ()
 
+#: absolute ceiling on one worker's auto-sized shared-memory segment; a
+#: superstep whose slabs outgrow it spills through the inline-pipe
+#: overflow path, which is correctness-neutral (just slower).
+_SLAB_CEILING = 256 << 20
+
 
 def mp_available() -> bool:
-    """True when the platform can run this backend (fork + shared memory)."""
+    """True when the platform can run this backend (fork + shared memory).
+
+    Importability alone is not enough: hosts without a usable ``/dev/shm``
+    import ``shared_memory`` fine and then fail at segment creation, mid
+    superstep.  Probe with a tiny create/unlink round-trip so the failure
+    becomes an up-front :class:`BackendUnsupported` refusal instead.
+    """
     try:
         import multiprocessing
-        from multiprocessing import shared_memory  # noqa: F401
+        from multiprocessing import shared_memory
 
-        return "fork" in multiprocessing.get_all_start_methods()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        probe = shared_memory.SharedMemory(create=True, size=16)
+        probe.close()
+        probe.unlink()
+        return True
     except (ImportError, OSError):
         return False
 
 
-def _reject(feature: str, hint: str) -> None:
-    raise BackendUnsupported(
-        f"the mp backend does not support {feature}: {hint} "
-        "(run with --backend sim or columnar)"
-    )
+def clamp_slab_bytes(requested: int, plan=None) -> int:
+    """Cap an auto-sized per-worker slab reservation.
+
+    Unbounded, the ``traffic * record`` heuristic can reserve multi-GB
+    segments on dense graphs.  The cap is the tightest configured
+    per-worker budget of a PR 5 :class:`~repro.pregel.mem.MemPlan` when
+    one is given, else the absolute ceiling; the floor stays at 1 MiB (a
+    smaller segment is all directory, no slab).  Capacity never affects
+    results — overflow travels inline over the pipes.
+    """
+    cap = _SLAB_CEILING
+    if plan is not None and getattr(plan, "limited", False):
+        finite = [budget for _worker, budget in plan.worker_budgets]
+        if plan.budget_bytes:
+            finite.append(plan.budget_bytes)
+        if finite:
+            cap = min(cap, min(finite))
+    return max(1 << 20, min(requested, cap))
+
+
+def composition_refusals(
+    *,
+    use_voting: bool = False,
+    combiners=None,
+    ft=None,
+    transport=None,
+    supervisor=None,
+    mem=None,
+    tracer=None,
+    track_makespan: bool = False,
+    partitioning: str = "hash",
+) -> list[str]:
+    """Refusal messages for running a composition on the mp backend.
+
+    Empty means the composition is supported.  Shared by
+    :class:`MPEngine` construction and the CLI's pre-load validation, so
+    a refused flag combination fails with the identical message whether
+    it is caught in milliseconds (CLI, before the graph loads) or at
+    engine construction.  ``combiners``, ``ft``, and ``tracer`` are
+    accepted for signature stability: those compositions are supported.
+    """
+    del combiners, ft, tracer  # lifted compositions — no longer refused
+    refusals = []
+
+    def refuse(feature: str, hint: str) -> None:
+        refusals.append(
+            f"the mp backend does not support {feature}: {hint} "
+            "(run with --backend sim or columnar)"
+        )
+
+    if use_voting:
+        refuse("vote_to_halt", "generated programs are master-driven")
+    if transport is not None:
+        refuse("the simulated transport", "real pipes carry the slabs")
+    if supervisor is not None:
+        refuse("supervision", "worker processes have no heartbeat probe")
+    if mem is not None:
+        refuse("memory budgets", "per-process accounting is not wired up")
+    if track_makespan:
+        refuse("track_makespan", "wall time of real workers replaces it")
+    if partitioning != "hash":
+        refuse(f"'{partitioning}' partitioning", "workers own hash partitions")
+    return refusals
 
 
 class _TagStage:
@@ -81,9 +174,10 @@ class _TagStage:
 
 
 class MPEngine:
-    """Parent-side coordinator: runs the master, merges global puts, and
-    drives the worker barrier.  API-compatible with PregelEngine where the
-    generated master/compiled-program wiring needs it."""
+    """Parent-side coordinator: runs the master, merges global puts and
+    combiner slots, drives the worker barrier, and owns checkpointing.
+    API-compatible with PregelEngine where the generated master, the
+    fault-tolerance manager, and the compiled-program wiring need it."""
 
     def __init__(
         self,
@@ -110,24 +204,19 @@ class MPEngine:
         mem=None,
         mp_slab_bytes: int | None = None,
     ):
-        if use_voting:
-            _reject("vote_to_halt", "generated programs are master-driven")
-        if combiners:
-            _reject("combiners", "sender-side folding is per-process state")
-        if ft is not None:
-            _reject("fault tolerance", "checkpoints cover one address space")
-        if transport is not None:
-            _reject("the simulated transport", "real pipes carry the slabs")
-        if supervisor is not None:
-            _reject("supervision", "worker processes have no heartbeat probe")
-        if mem is not None:
-            _reject("memory budgets", "per-process accounting is not wired up")
-        if tracer is not None and tracer.enabled:
-            _reject("recording tracers", "events would interleave across processes")
-        if track_makespan:
-            _reject("track_makespan", "wall time of real workers replaces it")
-        if partitioning != "hash":
-            _reject(f"'{partitioning}' partitioning", "workers own hash partitions")
+        refusals = composition_refusals(
+            use_voting=use_voting,
+            combiners=combiners,
+            ft=ft,
+            transport=transport,
+            supervisor=supervisor,
+            mem=mem,
+            tracer=tracer,
+            track_makespan=track_makespan,
+            partitioning=partitioning,
+        )
+        if refusals:
+            raise BackendUnsupported(refusals[0])
         if scheduling not in ("frontier", "dense"):
             raise ValueError(
                 f"unknown scheduling '{scheduling}' (expected 'frontier' or 'dense')"
@@ -158,18 +247,37 @@ class MPEngine:
         self._message_size = message_size
         self._max_supersteps = max_supersteps
         self._record_per_superstep = record_per_superstep
+        self._combiners = combiners or {}
         self._codec = MessageCodec(schema)
         w = self.num_workers
         self._worker_of = bytes(v % w for v in range(graph.num_nodes)) if w <= 256 else [
             v % w for v in range(graph.num_nodes)
         ]
         self._columns: dict[str, Any] = {}
-        self.ft = None
-        self.tracer = None
+        self.mem = None
+        self.tracer = tracer
+        self.ft = ft
+        self._voted = None  # master-driven: no vote_to_halt (FT replay reads this)
+        self._ft_replaying = False
+        self._current_vertex = -1
+        #: in-flight messages (sent last superstep, delivered to the live
+        #: worker inboxes) as the parent's own decode — checkpoint payloads
+        #: and confined-recovery logs read this through outbox_view().
+        self._inflight: dict[int, list] = {}
+        self._refork_all = False
+        self._refork_workers: set[int] = set()
+        # live process plumbing (populated by run(), mutated by _refork)
+        self._mpctx = None
+        self._segments: list = []
+        self._conns: list = []
+        self._procs: list = []
+        self._workers: list[_Worker] = []
+        if ft is not None:
+            ft.attach(self)
         if mp_slab_bytes is None:
             per_record = 8 + self.schema.max_message_size()
             traffic = (graph.num_edges * 2) // w + graph.num_nodes
-            mp_slab_bytes = max(1 << 20, traffic * per_record)
+            mp_slab_bytes = clamp_slab_bytes(traffic * per_record)
         self._slab_bytes = mp_slab_bytes
 
     # -- master-side API (GeneratedMaster's ctx) ------------------------
@@ -196,6 +304,112 @@ class MPEngine:
     def num_nodes(self) -> int:
         return self.graph.num_nodes
 
+    # -- vertex-side ctx API (confined-recovery replay only) -------------
+    #
+    # Normal supersteps run the vertex phase in the worker processes; the
+    # parent executes generated vertex code only while replaying a failed
+    # partition over its restored columns, where every send and put was
+    # already delivered during the original execution and is suppressed.
+
+    def send(self, dst: int, msg: tuple) -> None:
+        if not self._ft_replaying:
+            raise RuntimeError("mp parent runs vertex code only during FT replay")
+
+    def send_nbrs(self, vid: int, msg: tuple) -> None:
+        if not self._ft_replaying:
+            raise RuntimeError("mp parent runs vertex code only during FT replay")
+
+    def send_list(self, dsts: list, msg: tuple) -> None:
+        if not self._ft_replaying:
+            raise RuntimeError("mp parent runs vertex code only during FT replay")
+
+    def put_global(self, name: str, op, value) -> None:
+        if not self._ft_replaying:
+            raise RuntimeError("mp parent runs vertex code only during FT replay")
+
+    def get_global(self, name: str):
+        return self.globals.broadcast[name]
+
+    # -- checkpoint / restore (FaultTolerance manager hooks) -------------
+
+    def outbox_view(self) -> dict[int, list]:
+        """The in-flight ``{dst: msgs}`` map (parent-side slab decode)."""
+        return self._inflight
+
+    def checkpoint_state(self) -> dict:
+        """Snapshot at a superstep boundary, sim-shaped.
+
+        The workers own the live partition columns, so the snapshot first
+        pulls them back into the parent's columns — the FT manager
+        serializes the registered ``ColumnState`` (over those same column
+        objects) right after this returns, so it sees fresh data.
+        """
+        self._sync_columns()
+        metrics = self.metrics
+        return {
+            "superstep": self.superstep,
+            "outbox": dict(self._inflight),
+            "frontier": None,
+            "voted": None,
+            "rng": self.rng.getstate(),
+            "result": self.result,
+            "halt": self._halt,
+            "broadcast": dict(self.globals.broadcast),
+            "aggregated": dict(self.globals.aggregated),
+            "metrics": {
+                name: getattr(metrics, name)
+                for name in PregelEngine._CHECKPOINTED_METRICS
+            },
+            "per_superstep_messages": list(metrics.per_superstep_messages),
+            "worker_sent": list(metrics.worker_sent),
+        }
+
+    def restore_state(self, state: dict, vertices: list[int] | None = None) -> None:
+        """Restore a checkpoint payload.
+
+        ``vertices`` selects confined recovery: the manager restores the
+        failed partition's columns and replays it in the parent, so the
+        engine only needs to remember which worker must be re-forked from
+        the recovered parent state.  ``None`` is a full rollback: master
+        state, metrics ledger, and the in-flight set rewind to the
+        boundary, and *every* worker is re-forked from the restored
+        columns before the replay resumes.
+        """
+        if vertices is not None:
+            self._refork_workers.add(self._worker_of[vertices[0]])
+            return
+        self.superstep = state["superstep"]
+        self._inflight = dict(state["outbox"])
+        self.rng.setstate(state["rng"])
+        self.result = state["result"]
+        self._halt = state["halt"]
+        self.globals.broadcast.clear()
+        self.globals.broadcast.update(state["broadcast"])
+        self.globals.aggregated = dict(state["aggregated"])
+        metrics = self.metrics
+        for name, value in state["metrics"].items():
+            setattr(metrics, name, value)
+        saved_per_superstep = state["per_superstep_messages"]
+        if len(saved_per_superstep) > state["superstep"]:
+            raise ValueError(
+                f"checkpoint at superstep {state['superstep']} carries "
+                f"{len(saved_per_superstep)} per-superstep entries — a "
+                "checkpoint can never have more entries than completed "
+                "supersteps"
+            )
+        metrics.per_superstep_messages[:] = saved_per_superstep
+        if self._record_per_superstep and len(saved_per_superstep) < state["superstep"]:
+            metrics.per_superstep_messages.extend(
+                [0] * (state["superstep"] - len(saved_per_superstep))
+            )
+        metrics.worker_sent[:] = state["worker_sent"]
+        self._refork_all = True
+        # Rollback replay re-runs the dropped supersteps through the
+        # re-forked workers; the tracer drops their records so a recovered
+        # stream stays identical to a failure-free one.
+        if self.tracer is not None:
+            self.tracer.on_rollback(self.superstep)
+
     # -- execution ------------------------------------------------------
 
     def run(self) -> RunMetrics:
@@ -204,41 +418,49 @@ class MPEngine:
 
         if self._vertex_compute is None:
             raise RuntimeError("no vertex program attached")
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.event(
+                "run.begin",
+                cat="engine",
+                det={
+                    "num_workers": self.num_workers,
+                    "num_nodes": self.graph.num_nodes,
+                    "num_edges": self.graph.num_edges,
+                    "use_voting": False,
+                    "partitioning": self.partitioning,
+                },
+                info={
+                    "scheduling": self.scheduling,
+                    "max_supersteps": self._max_supersteps,
+                },
+            )
         start = time.perf_counter()
-        ctx = multiprocessing.get_context("fork")
+        self._mpctx = ctx = multiprocessing.get_context("fork")
         w = self.num_workers
-        segments = []
-        conns = []
-        procs = []
         halt_reason = "max_supersteps"
         try:
             for _ in range(w):
-                segments.append(
+                self._segments.append(
                     shared_memory.SharedMemory(create=True, size=self._slab_bytes)
                 )
-            workers = [
-                _Worker(wid, self, segments) for wid in range(w)
+            self._workers = [
+                _Worker(wid, self, self._segments) for wid in range(w)
             ]
             for wid in range(w):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                conns.append(parent_conn)
-                proc = ctx.Process(
-                    target=workers[wid].main, args=(child_conn,), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                procs.append(proc)
-            halt_reason = self._coordinate(conns)
-            self._gather_columns(conns)
-            for proc in procs:
+                self._spawn_worker(wid, fresh=True)
+            halt_reason = self._coordinate()
+            self._gather_columns()
+            for proc in self._procs:
                 proc.join(timeout=30)
         finally:
-            for proc in procs:
+            for proc in self._procs:
                 if proc.is_alive():
                     proc.terminate()
-            for conn in conns:
+            for conn in self._conns:
                 conn.close()
-            for seg in segments:
+            for seg in self._segments:
                 seg.close()
                 try:
                     seg.unlink()
@@ -249,7 +471,69 @@ class MPEngine:
         m.wall_seconds = time.perf_counter() - start
         m.result = self.result
         m.halt_reason = halt_reason
+        if traced:
+            tracer.event(
+                "run.end",
+                cat="engine",
+                det={
+                    "supersteps": m.supersteps,
+                    "messages": m.messages,
+                    "message_bytes": m.message_bytes,
+                    "net_messages": m.net_messages,
+                    "net_bytes": m.net_bytes,
+                    "broadcast_values": m.broadcast_values,
+                    "worker_sent": list(m.worker_sent),
+                    "halt_reason": m.halt_reason,
+                    "result": m.result,
+                },
+                info={"wall_seconds": m.wall_seconds},
+            )
         return m
+
+    def _spawn_worker(self, wid: int, *, fresh: bool) -> None:
+        """Fork worker ``wid`` from the parent's current state.
+
+        ``fresh=False`` replaces a terminated worker during recovery: the
+        new process copy-on-write-inherits the parent's restored/replayed
+        columns, and its inbox is re-seeded with its partition's slice of
+        the in-flight messages (the healthy workers still hold theirs)."""
+        ctx = self._mpctx
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=self._workers[wid].main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        if fresh:
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        else:
+            self._conns[wid] = parent_conn
+            self._procs[wid] = proc
+            worker_of = self._worker_of
+            part = {
+                dst: list(msgs)
+                for dst, msgs in self._inflight.items()
+                if worker_of[dst] == wid
+            }
+            parent_conn.send(("seed", part))
+
+    def _refork(self) -> None:
+        wids = (
+            range(self.num_workers) if self._refork_all
+            else sorted(self._refork_workers)
+        )
+        for wid in wids:
+            proc = self._procs[wid]
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=10)
+            self._conns[wid].close()
+            self._spawn_worker(wid, fresh=False)
+        for wid in wids:
+            self._recv(self._conns[wid])  # ("ready",) after the seed
+        self._refork_all = False
+        self._refork_workers.clear()
 
     def _recv(self, conn):
         try:
@@ -260,29 +544,94 @@ class MPEngine:
             raise RuntimeError(f"mp worker failed:\n{reply[1]}")
         return reply
 
-    def _coordinate(self, conns) -> str:
+    def _coordinate(self) -> str:
         m = self.metrics
+        ft = self.ft
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        worker_of = self._worker_of
+        sizes = self._codec.sizes
+        w = self.num_workers
         while self.superstep < self._max_supersteps:
+            # Fault-tolerance boundary: checkpoint if due (pulling fresh
+            # columns from the workers), then inject any scheduled crash.
+            # Recovery restores/replays parent-side state and flags the
+            # affected workers, which are re-forked from it here — before
+            # the master runs, exactly the simulator's ordering.
+            if ft is not None:
+                ft.on_superstep_start()
+                if self._refork_all or self._refork_workers:
+                    self._refork()
+            if traced:
+                # Snapshot the ledger *after* any recovery so the superstep
+                # record meters exactly this superstep's deltas.
+                step_ts = tracer.now()
+                s_messages = m.messages
+                s_message_bytes = m.message_bytes
+                s_net_messages = m.net_messages
+                s_net_bytes = m.net_bytes
+                s_broadcasts = m.broadcast_values
+                s_worker_sent = list(m.worker_sent)
             # Master phase: sees globals aggregated from the previous
             # superstep — exactly the simulator's ordering.
             if self._master_compute is not None:
                 self._master_compute(self)
                 if self._halt:
                     return "master_halt"
+            if ft is not None:
+                ft.on_master_done()
             bcast = dict(self.globals.broadcast)
-            for conn in conns:
+            for conn in self._conns:
                 conn.send(("step", bcast))
-            replies = [self._recv(conn) for conn in conns]
+            replies = [self._recv(conn) for conn in self._conns]
             step_messages = 0
+            step_net = 0
             all_puts: list = []
-            for wid, (_, _dir, _inline, counters, puts) in enumerate(replies):
+            all_slots: list = []
+            worker_computed = []
+            worker_seconds = []
+            worker_bytes = []
+            for wid, (_, _dir, _inline, counters, puts, slots) in enumerate(replies):
                 m.messages += counters["messages"]
                 m.message_bytes += counters["bytes"]
                 m.net_messages += counters["net_messages"]
                 m.net_bytes += counters["net_bytes"]
                 m.worker_sent[wid] += counters["sent"]
                 step_messages += counters["messages"]
+                step_net += counters["net_messages"]
+                worker_computed.append(counters["computed"])
+                worker_seconds.append(counters["seconds"])
+                worker_bytes.append(counters["staged"])
                 all_puts.extend(puts)
+                all_slots.extend(slots)
+            if ft is not None:
+                # The simulator meters one (argument-free) delivery account
+                # per cross-worker send during the phase; the parent makes
+                # the same number of calls, so the FT manager's seeded
+                # retry counters come out identical.
+                account = ft.account_delivery
+                for _ in range(step_net):
+                    account()
+            # Combiner barrier flush: a stable sort on the birth vid of
+            # each per-worker slot reconstructs the simulator's combiner
+            # table insertion order (ties = one vertex's sends, already in
+            # program order within its worker's slot list).  Metering at
+            # flush, on the folded payload — the message that travels.
+            combined_parts: list[list] = [[] for _ in range(w)]
+            if all_slots:
+                all_slots.sort(key=lambda s: s[0])
+                for birth, dst, tag, msg in all_slots:
+                    size = sizes[tag]
+                    m.messages += 1
+                    m.message_bytes += size
+                    dest = worker_of[dst]
+                    if worker_of[birth] != dest:
+                        m.net_messages += 1
+                        m.net_bytes += size
+                        if ft is not None:
+                            ft.account_delivery()
+                    combined_parts[dest].append((dst, msg))
+                step_messages += len(all_slots)
             if self._record_per_superstep:
                 m.per_superstep_messages.append(step_messages)
             # Re-fold vertex puts in ascending-vid order: bit-identical to
@@ -293,22 +642,133 @@ class MPEngine:
                 put_reduce(name, op, value)
             directories = [r[1] for r in replies]
             inlines = [r[2] for r in replies]
-            for conn in conns:
-                conn.send(("exchange", directories, inlines))
-            for conn in conns:
+            for conn in self._conns:
+                conn.send(("exchange", directories, inlines, combined_parts))
+            for conn in self._conns:
                 self._recv(conn)
+            if ft is not None:
+                # Decode this superstep's outbox from the slabs while the
+                # segments still hold them: checkpoint payloads and the
+                # confined-recovery logs both read it via outbox_view().
+                self._inflight = self._decode_outbox(directories, inlines)
+                for dst, msg in (pair for part in combined_parts for pair in part):
+                    bucket = self._inflight.get(dst)
+                    if bucket is None:
+                        self._inflight[dst] = [msg]
+                    else:
+                        bucket.append(msg)
+                ft.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
+            if traced:
+                tracer.event(
+                    "superstep",
+                    cat="engine",
+                    ts=step_ts,
+                    det={
+                        "step": self.superstep - 1,
+                        "active": sum(worker_computed),
+                        "halted": 0,
+                        "messages": m.messages - s_messages,
+                        "message_bytes": m.message_bytes - s_message_bytes,
+                        "net_messages": m.net_messages - s_net_messages,
+                        "net_bytes": m.net_bytes - s_net_bytes,
+                        "broadcasts": m.broadcast_values - s_broadcasts,
+                        "worker_computed": worker_computed,
+                        "worker_sent": [
+                            now - then
+                            for now, then in zip(m.worker_sent, s_worker_sent)
+                        ],
+                        "worker_bytes": worker_bytes,
+                    },
+                    info={
+                        "mode": "dense",
+                        "frontier": -1,
+                        "worker_seconds": worker_seconds,
+                    },
+                )
         return "max_supersteps"
 
-    def _gather_columns(self, conns) -> None:
-        """Pull each worker's partition of every property column back into
-        the parent's columns, which RunResult outputs read."""
-        for conn in conns:
+    def _decode_outbox(self, directories, inlines) -> dict[int, list]:
+        """Parent-side decode of every worker's slabs into one sim-shaped
+        ``{dst: msgs}`` map (all destinations, not just one worker's).
+
+        Per-tag stable sender sort reconstructs global send order per
+        receiver; receive loops are tag-filtered, so grouping a receiver's
+        messages by tag is invisible — the confined replay feeds these
+        lists straight to the generated receive code."""
+        codec = self._codec
+        per_tag: dict[int, list] = {tag: [] for tag in codec.tag_ids}
+        for source, directory in enumerate(directories):
+            seg_buf = self._segments[source].buf
+            for _dest, tag, count, offset, payload_len in directory:
+                mid = offset + 4 * count
+                pay = mid + 4 * count
+                per_tag[tag].append(
+                    (
+                        np.frombuffer(bytes(seg_buf[offset:mid]), dtype=np.int32),
+                        np.frombuffer(bytes(seg_buf[mid:pay]), dtype=np.int32),
+                        bytes(seg_buf[pay : pay + payload_len]),
+                        count,
+                    )
+                )
+        for entries in inlines:
+            for _dest, tag, count, dst_bytes, sender_bytes, payload in entries:
+                per_tag[tag].append(
+                    (
+                        np.frombuffer(dst_bytes, dtype=np.int32),
+                        np.frombuffer(sender_bytes, dtype=np.int32),
+                        payload,
+                        count,
+                    )
+                )
+        outbox: dict[int, list] = {}
+        for tag in codec.tag_ids:
+            parts = per_tag[tag]
+            if not parts:
+                continue
+            if len(parts) == 1:
+                dst_all, snd_all, payload, count = parts[0]
+                records = codec.unpack[tag](payload, count)
+            else:
+                dst_all = np.concatenate([p[0] for p in parts])
+                snd_all = np.concatenate([p[1] for p in parts])
+                records = []
+                for _dst, _snd, payload, count in parts:
+                    records.extend(codec.unpack[tag](payload, count))
+            by_sender = np.argsort(snd_all, kind="stable")
+            order = by_sender[np.argsort(dst_all[by_sender], kind="stable")]
+            sorted_dsts = dst_all[order]
+            sorted_recs = [records[i] for i in order.tolist()]
+            cuts = np.flatnonzero(sorted_dsts[1:] != sorted_dsts[:-1]) + 1
+            starts = [0, *cuts.tolist()]
+            ends = [*cuts.tolist(), len(sorted_recs)]
+            for dst, a, b in zip(sorted_dsts[starts].tolist(), starts, ends):
+                bucket = outbox.get(dst)
+                if bucket is None:
+                    outbox[dst] = sorted_recs[a:b]
+                else:
+                    bucket.extend(sorted_recs[a:b])
+        return outbox
+
+    def _sync_columns(self) -> None:
+        """Pull every worker's live partition back into the parent columns."""
+        if not self._conns:
+            return  # workers not forked yet: the columns hold initial state
+        for conn in self._conns:
+            conn.send(("snapshot",))
+        self._scatter_columns()
+
+    def _gather_columns(self) -> None:
+        """Final column pull at end of run (workers exit afterwards)."""
+        for conn in self._conns:
             conn.send(("finish",))
+        self._scatter_columns()
+
+    def _scatter_columns(self) -> None:
         n = self.graph.num_nodes
         w = self.num_workers
-        for wid, conn in enumerate(conns):
+        for wid, conn in enumerate(self._conns):
             reply = self._recv(conn)
             for name, values in reply[1].items():
                 column = self._columns[name]
@@ -321,12 +781,15 @@ class MPEngine:
 
 class _Worker:
     """One worker process: computes its hash partition, stages outgoing
-    messages as per-(destination, tag) slabs in its shared-memory segment,
-    and rebuilds its inbox from the other workers' slabs after the barrier.
+    messages as per-(destination, tag) slabs in its shared-memory segment
+    (folding combined tags into per-(dst, tag) slots instead), and rebuilds
+    its inbox from the other workers' slabs after the barrier.
 
     Constructed in the parent *before* fork, so every heavy structure (the
     graph CSR, property columns, the generated vertex function and its
-    environment) is inherited copy-on-write — nothing is pickled."""
+    environment) is inherited copy-on-write — nothing is pickled.  A
+    recovery re-fork reuses the same instance: the replacement process
+    inherits the parent's *restored* columns the same way."""
 
     def __init__(self, wid: int, engine: MPEngine, segments):
         self.wid = wid
@@ -338,6 +801,10 @@ class _Worker:
 
     def send(self, dst: int, msg: tuple) -> None:
         tag = msg[0]
+        combiner = self._combiners.get(tag) if self._combiners else None
+        if combiner is not None:
+            self._fold(dst, tag, msg, combiner, 1)
+            return
         stage = self._stage[self._worker_of[dst]][tag]
         stage.dsts.append(dst)
         stage.senders.append(self._current_vertex)
@@ -346,11 +813,24 @@ class _Worker:
         self._meter(tag, 1, 1 if self._worker_of[dst] != self.wid else 0)
 
     def send_nbrs(self, vid: int, msg: tuple) -> None:
+        tag = msg[0]
+        if self._combiners and tag in self._combiners:
+            graph = self.engine.graph
+            targets = graph.out_targets[
+                graph.out_offsets[vid] : graph.out_offsets[vid + 1]
+            ]
+            if targets:
+                combiner = self._combiners[tag]
+                for dst in targets:
+                    self._fold(dst, tag, msg, combiner, 0)
+                c = self._counters
+                c["sent"] += len(targets)
+                c["staged"] += self._sizes[tag] * len(targets)
+            return
         offsets = self._grp_off[vid]
         deg = offsets[-1] - offsets[0]
         if deg == 0:
             return
-        tag = msg[0]
         record = self._pack[tag](msg)
         grp_tgt = self._grp_tgt
         for dest in range(self._w):
@@ -369,6 +849,14 @@ class _Worker:
         if not dsts:
             return
         tag = msg[0]
+        if self._combiners and tag in self._combiners:
+            combiner = self._combiners[tag]
+            for dst in dsts:
+                self._fold(dst, tag, msg, combiner, 0)
+            c = self._counters
+            c["sent"] += len(dsts)
+            c["staged"] += self._sizes[tag] * len(dsts)
+            return
         record = self._pack[tag](msg)
         vid = self._current_vertex
         worker_of = self._worker_of
@@ -383,6 +871,22 @@ class _Worker:
             stage.counts.append(1)
             stage.payload += record
         self._meter(tag, len(dsts), cross)
+
+    def _fold(self, dst: int, tag: int, msg: tuple, combiner, meter: int) -> None:
+        """Combiner send: fold into this worker's (dst, tag) slot, stamped
+        with the vid of the slot's first send (the parent's merge key).
+        Only the sender's combine work is metered per send — delivered
+        traffic is metered at the parent's flush, on the folded payload."""
+        if meter:
+            c = self._counters
+            c["sent"] += 1
+            c["staged"] += self._sizes[tag]
+        key = (dst, tag)
+        slot = self._combined.get(key)
+        if slot is not None:
+            self._combined[key] = (slot[0], combiner(slot[1], msg))
+        else:
+            self._combined[key] = (self._current_vertex, msg)
 
     def put_global(self, name: str, op, value) -> None:
         self._puts.append((name, op, self._current_vertex, value))
@@ -400,6 +904,7 @@ class _Worker:
         c["messages"] += count
         c["sent"] += count
         c["bytes"] += size * count
+        c["staged"] += size * count
         if cross:
             c["net_messages"] += cross
             c["net_bytes"] += size * cross
@@ -412,6 +917,7 @@ class _Worker:
         n = graph.num_nodes
         self._w = engine.num_workers
         self._worker_of = engine._worker_of
+        self._combiners = engine._combiners
         codec = engine._codec
         self._pack = codec.pack
         self._unpack = codec.unpack
@@ -419,8 +925,9 @@ class _Worker:
         self._tag_ids = codec.tag_ids
         self._own_vids = list(range(self.wid, n, self._w))
         self._puts: list = []
-        self._counters = dict(messages=0, sent=0, bytes=0, net_messages=0, net_bytes=0)
+        self._counters = self._fresh_counters()
         self._inbox: dict[int, list] = {}
+        self._combined: dict = {}
         self._stage = [
             {tag: _TagStage() for tag in self._tag_ids} for _ in range(self._w)
         ]
@@ -445,6 +952,19 @@ class _Worker:
         grp_off[:, 1:] += grp_off[:, :1]
         self._grp_off = grp_off.tolist()
 
+    @staticmethod
+    def _fresh_counters() -> dict:
+        return dict(
+            messages=0,
+            sent=0,
+            bytes=0,
+            net_messages=0,
+            net_bytes=0,
+            staged=0,
+            computed=0,
+            seconds=0.0,
+        )
+
     def main(self, conn) -> None:
         try:
             self._init()
@@ -460,20 +980,41 @@ class _Worker:
                     broadcast.update(cmd[1])
                     inbox = self._inbox
                     self._inbox = {}
+                    t0 = time.perf_counter()
                     for vid in self._own_vids:
                         self._current_vertex = vid
                         compute(self, vid, inbox.get(vid, empty))
                     self._current_vertex = -1
+                    c = self._counters
+                    c["computed"] = len(self._own_vids)
+                    c["seconds"] = time.perf_counter() - t0
                     directory, inline = self._write_slabs()
+                    slots = [
+                        (birth, dst, tag, msg)
+                        for (dst, tag), (birth, msg) in self._combined.items()
+                    ]
+                    self._combined.clear()
                     conn.send(
-                        ("stat", directory, inline, self._counters, self._puts)
+                        ("stat", directory, inline, c, self._puts, slots)
                     )
-                    self._counters = dict(
-                        messages=0, sent=0, bytes=0, net_messages=0, net_bytes=0
-                    )
+                    self._counters = self._fresh_counters()
                     self._puts = []
                 elif kind == "exchange":
                     self._read_slabs(cmd[1], cmd[2])
+                    inbox = self._inbox
+                    for dst, msg in cmd[3][self.wid]:
+                        bucket = inbox.get(dst)
+                        if bucket is None:
+                            inbox[dst] = [msg]
+                        else:
+                            bucket.append(msg)
+                    conn.send(("ready",))
+                elif kind == "snapshot":
+                    conn.send(("columns", self._gather()))
+                elif kind == "seed":
+                    # Recovery re-fork: install this partition's slice of
+                    # the in-flight messages as the pending inbox.
+                    self._inbox = cmd[1]
                     conn.send(("ready",))
                 elif kind == "finish":
                     conn.send(("columns", self._gather()))
@@ -601,12 +1142,12 @@ class _Worker:
 class MPBackend(ExecutionBackend):
     name = "mp"
     supports = {
-        "ft": False,
+        "ft": True,
         "net": False,
         "mem": False,
         "supervisor": False,
-        "tracer": False,
-        "combiners": False,
+        "tracer": True,
+        "combiners": True,
         "voting": False,
         "track_makespan": False,
         "range_partitioning": False,

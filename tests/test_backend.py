@@ -148,17 +148,20 @@ class TestMultiprocessingBackend:
     @pytest.mark.parametrize(
         "opts",
         (
-            {"ft": "FT"},
-            {"use_combiners": True},
             {"track_makespan": True},
             {"partitioning": "range"},
+            {"use_voting": True},
+            {"transport": "SENTINEL"},
+            {"supervisor": "SENTINEL"},
+            {"mem": "SENTINEL"},
         ),
-        ids=("ft", "combiners", "makespan", "range"),
+        ids=("makespan", "range", "voting", "net", "supervisor", "mem"),
     )
     def test_unsupported_compositions_refuse_cleanly(self, programs, graph, opts):
-        if opts.get("ft") == "FT":
-            opts = {"ft": FaultTolerance(FaultPlan(checkpoint_every=2))}
-        with pytest.raises(BackendUnsupported):
+        # The engine refuses at construction, before the feature object is
+        # ever touched, so a sentinel stands in for the real manager.
+        opts = {k: object() if v == "SENTINEL" else v for k, v in opts.items()}
+        with pytest.raises(BackendUnsupported, match="does not support"):
             run_on(programs, graph, "pagerank", "mp", num_workers=2, **opts)
 
 
@@ -237,11 +240,249 @@ class TestCLI:
         assert exc.value.code == 2
 
     @needs_mp
-    def test_mp_refuses_checkpointing_as_usage_error(self, capsys):
+    def test_mp_runs_checkpointing(self, capsys):
+        # Fault tolerance is a *lifted* composition: the flag pair that
+        # used to refuse with exit 2 now runs to completion.
+        from repro.cli import main
+
+        code = main(["run", self.gm("pagerank"), *self.ARGS,
+                     "--backend", "mp", "--checkpoint-every", "2"])
+        assert code == 0
+        assert "backend=mp" in capsys.readouterr().out
+
+    def test_mp_refuses_net_faults_as_usage_error(self, capsys):
         from repro.cli import main
 
         with pytest.raises(SystemExit) as exc:
             main(["run", self.gm("pagerank"), *self.ARGS,
-                  "--backend", "mp", "--checkpoint-every", "2"])
+                  "--backend", "mp", "--net-faults", "drop=0.05"])
         assert exc.value.code == 2
-        assert "does not support" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "does not support the simulated transport" in err
+        assert "--backend sim or columnar" in err
+
+    def test_mp_refusal_fires_before_graph_load(self, capsys):
+        # The composition is validated from the flags alone: a refused
+        # pairing wins over a graph file that does not even exist, proving
+        # no load was attempted first.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS,
+                  "--backend", "mp", "--heartbeat", "interval=1",
+                  "--graph-file", "/nonexistent/never.el"])
+        assert exc.value.code == 2
+        assert "does not support supervision" in capsys.readouterr().err
+
+    def test_mp_unavailable_is_usage_error(self, capsys, monkeypatch):
+        import repro.pregel.backend.mp as mp_mod
+        from repro.cli import main
+
+        monkeypatch.setattr(mp_mod, "mp_available", lambda: False)
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS, "--backend", "mp"])
+        assert exc.value.code == 2
+        assert "unavailable on this platform" in capsys.readouterr().err
+
+
+class TestRefusalMatrix:
+    """Every (backend x feature) pair: the ``supports`` declaration, the
+    construction-time refusal, and the CLI's pre-load validation must
+    agree — a feature either runs or fails fast with one message."""
+
+    FEATURES = (
+        "ft", "net", "mem", "supervisor", "tracer", "combiners",
+        "voting", "track_makespan", "range_partitioning",
+    )
+
+    def test_declarations_cover_every_feature(self):
+        for name in BACKENDS:
+            supports = get_backend(name).supports
+            assert set(supports) == set(self.FEATURES), name
+
+    def test_sim_and_columnar_refuse_nothing(self):
+        for name in ("sim", "columnar"):
+            assert all(get_backend(name).supports.values()), name
+
+    def test_mp_declaration_matches_refusals(self):
+        from repro.pregel.backend.mp import composition_refusals
+
+        supports = get_backend("mp").supports
+        sentinel = object()
+        probes = {
+            "ft": {"ft": sentinel},
+            "net": {"transport": sentinel},
+            "mem": {"mem": sentinel},
+            "supervisor": {"supervisor": sentinel},
+            "tracer": {"tracer": sentinel},
+            "combiners": {"combiners": {0: sentinel}},
+            "voting": {"use_voting": True},
+            "track_makespan": {"track_makespan": True},
+            "range_partitioning": {"partitioning": "range"},
+        }
+        for feature, kwargs in probes.items():
+            refusals = composition_refusals(**kwargs)
+            if supports[feature]:
+                assert refusals == [], feature
+            else:
+                assert len(refusals) == 1, feature
+                assert refusals[0].startswith("the mp backend does not support"), feature
+                assert refusals[0].endswith("(run with --backend sim or columnar)"), feature
+
+    def test_lifted_compositions_are_declared_supported(self):
+        supports = get_backend("mp").supports
+        assert supports["ft"] is True
+        assert supports["combiners"] is True
+        assert supports["tracer"] is True
+
+
+@needs_mp
+class TestLiftedCompositions:
+    """The three compositions PR 6 refused, locked to sim parity."""
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_combiners_parity(self, programs, graph, alg):
+        sim = run_on(programs, graph, alg, "sim", use_combiners=True)
+        mp = run_on(programs, graph, alg, "mp", use_combiners=True)
+        assert_parity(sim, mp)
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_ft_rollback_recovery_parity(self, programs, graph, alg):
+        # The crash fires entering superstep 1 so even the shortest
+        # algorithm (avg_teen_cnt halts after 2 supersteps) gets hit.
+        def ft():
+            return FaultTolerance(
+                FaultPlan(checkpoint_every=2, crashes=(CrashEvent(1, 1),))
+            )
+
+        sim = run_on(programs, graph, alg, "sim", ft=ft())
+        mp = run_on(programs, graph, alg, "mp", ft=ft())
+        assert sim.metrics.faults_injected == mp.metrics.faults_injected == 1
+        assert_parity(sim, mp)
+
+    @pytest.mark.parametrize("alg", ("pagerank", "sssp"))
+    def test_ft_confined_recovery_parity(self, programs, graph, alg):
+        def ft():
+            return FaultTolerance(
+                FaultPlan(
+                    checkpoint_every=2,
+                    crashes=(CrashEvent(2, 3),),
+                    recovery="confined",
+                )
+            )
+
+        sim = run_on(programs, graph, alg, "sim", ft=ft())
+        mp = run_on(programs, graph, alg, "mp", ft=ft())
+        assert_parity(sim, mp)
+
+    def test_recovered_run_matches_failure_free_outputs(self, programs, graph):
+        clean = run_on(programs, graph, "pagerank", "sim")
+        ft = FaultTolerance(
+            FaultPlan(checkpoint_every=2, crashes=(CrashEvent(0, 4),))
+        )
+        recovered = run_on(programs, graph, "pagerank", "mp", ft=ft)
+        assert recovered.outputs == clean.outputs
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_deterministic_trace_byte_identity(self, programs, graph, alg):
+        from repro.obs import Tracer, deterministic_jsonl
+
+        streams = {}
+        for backend in ("sim", "columnar", "mp"):
+            tracer = Tracer()
+            run_on(programs, graph, alg, backend, tracer=tracer)
+            streams[backend] = deterministic_jsonl(tracer.events)
+        assert streams["sim"] == streams["columnar"] == streams["mp"]
+
+    def test_traced_ft_recovery_stream_matches_sim(self, programs, graph):
+        from repro.obs import Tracer, deterministic_jsonl
+
+        streams = {}
+        for backend in ("sim", "mp"):
+            tracer = Tracer()
+            ft = FaultTolerance(
+                FaultPlan(checkpoint_every=2, crashes=(CrashEvent(1, 3),))
+            )
+            run_on(programs, graph, "pagerank", backend, ft=ft, tracer=tracer)
+            streams[backend] = deterministic_jsonl(tracer.events)
+        assert streams["sim"] == streams["mp"]
+
+    def test_combined_ft_and_combiners(self, programs, graph):
+        def run(backend):
+            ft = FaultTolerance(
+                FaultPlan(checkpoint_every=2, crashes=(CrashEvent(0, 2),))
+            )
+            return run_on(
+                programs, graph, "sssp", backend, ft=ft, use_combiners=True
+            )
+
+        assert_parity(run("sim"), run("mp"))
+
+
+class TestSlabSizing:
+    def test_clamp_applies_absolute_ceiling(self):
+        from repro.pregel.backend.mp import _SLAB_CEILING, clamp_slab_bytes
+
+        assert clamp_slab_bytes(10 * _SLAB_CEILING) == _SLAB_CEILING
+        assert clamp_slab_bytes(4 << 20) == 4 << 20
+
+    def test_clamp_keeps_one_mib_floor(self):
+        from repro.pregel.backend.mp import clamp_slab_bytes
+
+        assert clamp_slab_bytes(17) == 1 << 20
+
+    def test_clamp_respects_mem_plan_budget(self):
+        from repro.pregel.backend.mp import clamp_slab_bytes
+        from repro.pregel.mem import MemPlan
+
+        plan = MemPlan(budget_bytes=8 << 20)
+        assert clamp_slab_bytes(1 << 30, plan) == 8 << 20
+        targeted = MemPlan(worker_budgets=((1, 2 << 20),))
+        assert clamp_slab_bytes(1 << 30, targeted) == 2 << 20
+        unlimited = MemPlan()
+        assert clamp_slab_bytes(32 << 20, unlimited) == 32 << 20
+
+    @needs_mp
+    def test_tiny_slab_still_parity_identical(self, programs, graph):
+        # Overflow spills through the inline pipe path: capacity is a
+        # performance knob, never a correctness one.
+        sim = run_on(programs, graph, "sssp", "sim", num_workers=2)
+        mp = run_on(
+            programs, graph, "sssp", "mp", num_workers=2,
+            mp_slab_bytes=1 << 20,
+        )
+        assert_parity(sim, mp)
+
+
+class TestVectorizedReceivers:
+    """The columnar bulk-receive handlers: installed exactly where the
+    vectorizer proves the receive loop is a pure column reduction, and
+    parity-invisible wherever they run (the matrix above runs them)."""
+
+    def handlers(self, programs, graph, alg):
+        program = programs[alg]
+        engine, _fields, _master = program.make_engine(
+            graph, default_args(alg, graph), backend="columnar"
+        )
+        return engine._bulk_receivers
+
+    def test_reduction_phases_vectorize(self, programs, graph):
+        for alg in ("pagerank", "avg_teen_cnt", "conductance", "bc_approx"):
+            assert self.handlers(programs, graph, alg), alg
+
+    def test_dependent_or_stateful_phases_do_not(self, programs, graph):
+        # sssp's receive couples two fields across statements; bipartite
+        # matching assigns fields and writes globals from receive loops.
+        for alg in ("sssp", "bipartite_matching"):
+            assert self.handlers(programs, graph, alg) == {}, alg
+
+    def test_handlers_only_engage_on_slab_fast_path(self, programs, graph):
+        program = programs["pagerank"]
+        engine, _fields, _master = program.make_engine(
+            graph,
+            default_args("pagerank", graph),
+            backend="columnar",
+            ft=FaultTolerance(FaultPlan(checkpoint_every=2)),
+        )
+        # Fallback staging (here: fault tolerance) keeps scalar semantics.
+        assert engine._bulk_receivers == {}
