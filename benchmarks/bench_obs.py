@@ -1,6 +1,6 @@
-"""Observability benchmarks — traced run artifacts plus the overhead budget.
+"""Observability benchmarks — traced run artifacts plus the overhead budgets.
 
-Two jobs, both wired into CI:
+Three jobs, all wired into CI:
 
 * ``test_traced_pagerank_report`` runs one fully-traced PageRank workload
   (compiler passes + per-superstep records), writes the Chrome trace-event
@@ -11,13 +11,16 @@ Two jobs, both wired into CI:
   PageRank run.  The untraced and null-traced code paths are identical —
   the engine installs metering wrappers only for a recording tracer — so
   this is a noise-bounded smoke, measured best-of-N interleaved.
+* ``test_disabled_metrics_overhead`` is the same <5% contract for the
+  metrics registry (``NullRegistry`` vs no registry), and emits
+  ``BENCH_obs_overhead.json`` so the overhead trajectory is machine-readable.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.bench import traced_run, tracer_overhead
+from repro.bench import metrics_overhead, run_record, traced_run, tracer_overhead, write_bench
 from repro.obs import deterministic_jsonl, timeline_report, to_jsonl, write_chrome_trace
 
 from conftest import emit_report
@@ -73,5 +76,41 @@ def _disabled_tracer_overhead(scale, report_dir):
         f"  tracer=None        : {stats['best_plain_seconds'] * 1e3:8.2f} ms\n"
         f"  tracer=NullTracer  : {stats['best_null_tracer_seconds'] * 1e3:8.2f} ms\n"
         f"  ratio              : {stats['overhead_ratio']:.4f}  (budget < 1.05)",
+    )
+    assert stats["overhead_ratio"] < 1.05, stats
+
+
+def test_disabled_metrics_overhead(benchmark, scale, report_dir):
+    benchmark.pedantic(
+        lambda: _disabled_metrics_overhead(scale, report_dir), rounds=1, iterations=1
+    )
+
+
+def _disabled_metrics_overhead(scale, report_dir):
+    stats = metrics_overhead("pagerank", "twitter", scale, repeats=7)
+    emit_report(
+        report_dir,
+        "metrics_overhead",
+        "Disabled-registry overhead on Figure 6 PageRank (best of 7, interleaved)\n"
+        f"  registry=None         : {stats['best_plain_seconds'] * 1e3:8.2f} ms\n"
+        f"  registry=NullRegistry : {stats['best_null_registry_seconds'] * 1e3:8.2f} ms\n"
+        f"  ratio                 : {stats['overhead_ratio']:.4f}  (budget < 1.05)",
+    )
+    write_bench(
+        "obs_overhead",
+        [
+            run_record(
+                "pagerank_plain@sim",
+                backend="sim",
+                workers=4,
+                wall_seconds=[stats["best_plain_seconds"]],
+                counts={},
+                extra={
+                    "null_registry_seconds": stats["best_null_registry_seconds"],
+                    "overhead_ratio": stats["overhead_ratio"],
+                },
+            )
+        ],
+        out_dir=report_dir,
     )
     assert stats["overhead_ratio"] < 1.05, stats

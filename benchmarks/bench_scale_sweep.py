@@ -92,7 +92,9 @@ def _backend_sweep_report(report_dir):
     hardware cannot produce."""
     import os
 
+    from repro.bench import graph_signature, run_record, write_bench
     from repro.compiler import compile_algorithm
+    from repro.obs import MetricsRegistry
     from repro.pregel.backend.mp import mp_available
 
     scale = bench_scale()
@@ -108,16 +110,29 @@ def _backend_sweep_report(report_dir):
     walls = {}
     rates = {}
     parity = {}
+    records = []
+    sig = graph_signature(graph, "sk-2005", scale)
     for backend, workers in configs:
         best = None
         metrics = None
+        snapshot = None
+        samples = []
         for _ in range(REPEATS):
+            # A fresh registry per repeat: the best run's snapshot carries
+            # the per-superstep wall-time histogram into the artifact.
+            registry = MetricsRegistry()
             run = compiled.program.run(
-                graph, dict(args), backend=backend, num_workers=workers
+                graph,
+                dict(args),
+                backend=backend,
+                num_workers=workers,
+                metrics_registry=registry,
             )
+            samples.append(run.metrics.wall_seconds)
             if best is None or run.metrics.wall_seconds < best:
                 best = run.metrics.wall_seconds
                 metrics = run.metrics
+                snapshot = registry.snapshot()
         vertices = graph.num_nodes * metrics.supersteps
         walls[(backend, workers)] = best
         rates[(backend, workers)] = metrics.messages / best
@@ -126,6 +141,17 @@ def _backend_sweep_report(report_dir):
         key.pop("net_messages")
         key.pop("net_bytes")
         parity[(backend, workers)] = key
+        records.append(
+            run_record(
+                f"pagerank@{backend}x{workers}",
+                backend=backend,
+                workers=workers,
+                wall_seconds=samples,
+                metrics=metrics,
+                snapshot=snapshot,
+                graph=sig,
+            )
+        )
         rows.append(
             [
                 backend,
@@ -137,6 +163,12 @@ def _backend_sweep_report(report_dir):
                 f"{metrics.messages / best:,.0f}",
             ]
         )
+    bench_path = write_bench("backend_sweep", records, out_dir=report_dir)
+    # Schema-valid by construction (write_bench validates); also insist the
+    # per-superstep wall-time distribution made it into every run record.
+    for record in records:
+        assert "pregel.superstep_seconds" in record["histograms"], record["name"]
+        assert record["histograms"]["pregel.superstep_seconds"]["count"] > 0
 
     table = render_table(
         ["Backend", "Workers", "Supersteps", "Messages", "Wall s",
@@ -150,7 +182,9 @@ def _backend_sweep_report(report_dir):
         f"best of {REPEATS}, host cores: {cores}.\n"
         "All rows are parity-identical (same supersteps, messages, bytes,\n"
         "broadcasts, results); only throughput may differ.  The mp rows\n"
-        "only beat the in-process backends when cores >= workers."
+        "only beat the in-process backends when cores >= workers.\n"
+        f"telemetry: {bench_path.name} (per-superstep wall-time histograms,\n"
+        "wall samples, deterministic counts; feed two to `gm-pregel compare`)"
     )
     emit_report(report_dir, "backend_sweep", "Execution-backend sweep\n" + table + note)
 

@@ -485,3 +485,44 @@ def tracer_overhead(
         "best_null_tracer_seconds": best_null,
         "overhead_ratio": best_null / best_plain if best_plain else 1.0,
     }
+
+
+def metrics_overhead(
+    algorithm: str = "pagerank",
+    graph_key: str = "twitter",
+    scale: float = 0.25,
+    *,
+    repeats: int = 5,
+    seed: int = 1,
+) -> dict:
+    """Measure what a *disabled* metrics registry costs on a Figure 6
+    workload — the registry twin of :func:`tracer_overhead`.
+
+    Interleaves ``metrics_registry=None`` runs with ``NULL_REGISTRY`` runs
+    and compares best-of wall times; the engine treats both identically
+    (no metering handles are created), so the ratio is a noise-bounded
+    check that the zero-cost-when-disabled contract holds (<5% in CI).
+    """
+    from ..obs import NULL_REGISTRY
+
+    compiled = compile_algorithm(algorithm, emit_java=False)
+    graph = load_graph(graph_key, scale, seed)
+    args = default_args(algorithm, graph)
+    plain: list[float] = []
+    nulled: list[float] = []
+    for _ in range(max(1, repeats)):
+        plain.append(compiled.program.run(graph, args).metrics.wall_seconds)
+        nulled.append(
+            compiled.program.run(
+                graph, args, metrics_registry=NULL_REGISTRY
+            ).metrics.wall_seconds
+        )
+    best_plain = min(plain)
+    best_null = min(nulled)
+    return {
+        "algorithm": algorithm,
+        "graph": graph_key,
+        "best_plain_seconds": best_plain,
+        "best_null_registry_seconds": best_null,
+        "overhead_ratio": best_null / best_plain if best_plain else 1.0,
+    }

@@ -1,0 +1,385 @@
+"""Machine-readable benchmark telemetry: ``BENCH_<name>.json`` artifacts.
+
+Every benchmark that measures wall time can emit a schema-versioned JSON
+document describing *what ran* (git sha, backend, workers, cpu count,
+graph signature) and *what was measured* (per-run wall-time samples,
+deterministic count totals, metrics-registry snapshots with histogram
+summaries).  The artifacts are the repo's performance trajectory: CI
+uploads them from every run and ``gm-pregel compare BASELINE CURRENT``
+turns two of them into a regression verdict.
+
+Comparison is noise-aware: wall times compare *min-of-N* (the repeats are
+recorded individually, never pre-aggregated) against a ratio threshold,
+while deterministic counts (supersteps, messages, bytes) compare exactly
+by default — the workload generators are seed-stable, so any drift there
+is a semantic change, not noise.  Per-metric thresholds loosen individual
+counts when a change legitimately trades messages for bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..pregel.runtime import RunMetrics
+
+#: Version of the BENCH_*.json document layout.  Bump on breaking changes;
+#: ``compare`` refuses to compare documents of different versions.
+SCHEMA_VERSION = 1
+
+#: The deterministic count totals every run record carries (all drawn from
+#: ``RunMetrics.parity_key()`` quantities, so cross-backend identical).
+COUNT_FIELDS = ("supersteps", "messages", "message_bytes", "net_messages", "net_bytes")
+
+
+class TelemetryError(ValueError):
+    """A malformed telemetry document (bad JSON, wrong schema, missing
+    required fields).  The CLI maps this to exit code 2."""
+
+
+def git_sha() -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def collect_meta() -> dict:
+    """The environment block shared by every run in one document."""
+    return {
+        "git_sha": git_sha(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "created_unix": int(time.time()),
+    }
+
+
+def graph_signature(graph, key: str = "", scale: float | None = None, seed: int | None = None) -> dict:
+    """A cheap structural fingerprint of the input graph.
+
+    ``degree_checksum`` folds the whole out-offset array, so two graphs
+    with the same node/edge counts but different topology (a generator
+    change, a different seed) still get distinct signatures.
+    """
+    sig = {
+        "key": key,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "degree_checksum": sum(graph.out_offsets) % (1 << 32),
+    }
+    if scale is not None:
+        sig["scale"] = scale
+    if seed is not None:
+        sig["seed"] = seed
+    return sig
+
+
+def _percentile_from_buckets(buckets: list, count: int, q: float) -> float:
+    """Upper-bound estimate of the q-quantile from log-bucket counts."""
+    target = q * count
+    cumulative = 0
+    bound = 0.0
+    for bound, bucket_count in buckets:
+        cumulative += bucket_count
+        if cumulative >= target:
+            return float(bound)
+    return float(bound)
+
+
+def hist_summary(row: dict) -> dict:
+    """Summarize one snapshot histogram row: count/sum/min/max plus
+    p50/p90/p99 upper-bound estimates from the log buckets."""
+    count = row.get("count", 0)
+    out = {"count": count, "sum": row.get("sum", 0.0)}
+    if not count:
+        return out
+    out["min"] = row["min"]
+    out["max"] = row["max"]
+    buckets = row.get("buckets", [])
+    for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        out[name] = _percentile_from_buckets(buckets, count, q)
+    return out
+
+
+def snapshot_histogram_summaries(snap: dict) -> dict:
+    """``{family{label=value,...}: hist_summary}`` for every histogram
+    series in a :meth:`MetricsRegistry.snapshot` dict."""
+    out = {}
+    for name, family in snap.items():
+        if family.get("kind") != "histogram":
+            continue
+        for row in family["series"]:
+            labels = row.get("labels") or {}
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            key = f"{name}{{{suffix}}}" if suffix else name
+            out[key] = hist_summary(row)
+    return out
+
+
+def run_record(
+    name: str,
+    *,
+    backend: str,
+    workers: int,
+    wall_seconds: list,
+    metrics: "RunMetrics | None" = None,
+    counts: dict | None = None,
+    snapshot: dict | None = None,
+    graph: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """One run entry for a BENCH document.
+
+    ``wall_seconds`` is the raw per-repeat sample list (min-of-N happens at
+    compare time, so the noise floor stays inspectable).  ``counts`` defaults
+    to the :data:`COUNT_FIELDS` slice of ``metrics``; ``snapshot`` is an
+    optional metrics-registry snapshot, stored verbatim plus histogram
+    summaries for human/CI consumption.
+    """
+    if counts is None:
+        counts = {}
+        if metrics is not None:
+            counts = {f: getattr(metrics, f) for f in COUNT_FIELDS}
+    record = {
+        "name": name,
+        "backend": backend,
+        "workers": workers,
+        "wall_seconds": [float(s) for s in wall_seconds],
+        "counts": counts,
+    }
+    if graph is not None:
+        record["graph"] = graph
+    if snapshot is not None:
+        record["metrics"] = snapshot
+        record["histograms"] = snapshot_histogram_summaries(snapshot)
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def bench_document(bench: str, runs: list, meta: dict | None = None) -> dict:
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "meta": collect_meta(),
+        "runs": list(runs),
+    }
+    if meta:
+        doc["meta"].update(meta)
+    validate(doc)
+    return doc
+
+
+def write_bench(bench: str, runs: list, out_dir=".", meta: dict | None = None) -> Path:
+    """Write ``BENCH_<bench>.json`` under ``out_dir`` and return its path."""
+    doc = bench_document(bench, runs, meta)
+    path = Path(out_dir) / f"BENCH_{bench}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate(doc) -> None:
+    """Raise :class:`TelemetryError` unless ``doc`` is a well-formed BENCH
+    document of the current schema version."""
+    if not isinstance(doc, dict):
+        raise TelemetryError("telemetry document is not a JSON object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise TelemetryError(
+            f"unsupported schema_version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        raise TelemetryError("missing 'bench' name")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise TelemetryError("missing 'runs' list")
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            raise TelemetryError(f"runs[{i}] is not an object")
+        for required in ("name", "backend", "wall_seconds", "counts"):
+            if required not in run:
+                raise TelemetryError(f"runs[{i}] is missing '{required}'")
+        if not isinstance(run["wall_seconds"], list):
+            raise TelemetryError(f"runs[{i}].wall_seconds is not a list")
+        if not isinstance(run["counts"], dict):
+            raise TelemetryError(f"runs[{i}].counts is not an object")
+
+
+def load_bench(path) -> dict:
+    """Load and validate a BENCH_*.json document."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TelemetryError(f"{path}: {exc.strerror or exc}") from None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"{path}: invalid JSON ({exc})") from None
+    try:
+        validate(doc)
+    except TelemetryError as exc:
+        raise TelemetryError(f"{path}: {exc}") from None
+    return doc
+
+
+# -- regression compare ---------------------------------------------------
+
+
+@dataclass
+class CompareIssue:
+    """One finding of a baseline/current comparison."""
+
+    run: str
+    metric: str  # "wall_seconds" or a counts key, or "presence"
+    kind: str  # "regression" | "improvement" | "note"
+    detail: str
+
+
+@dataclass
+class CompareResult:
+    """The verdict of :func:`compare`: regressions mean a non-zero exit."""
+
+    issues: list = field(default_factory=list)
+    runs_compared: int = 0
+
+    @property
+    def regressions(self) -> list:
+        return [i for i in self.issues if i.kind == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [f"compared {self.runs_compared} run(s)"]
+        for issue in self.issues:
+            marker = {"regression": "REGRESSION", "improvement": "improved"}.get(
+                issue.kind, "note"
+            )
+            lines.append(f"  [{marker}] {issue.run}: {issue.metric}: {issue.detail}")
+        lines.append(
+            f"result: {len(self.regressions)} regression(s)"
+            if self.regressions
+            else "result: no regressions"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    wall_threshold: float = 1.15,
+    thresholds: dict | None = None,
+    counts_only: bool = False,
+) -> CompareResult:
+    """Compare two BENCH documents run-by-run (matched on run ``name``).
+
+    * wall time — ``min(current samples) > min(baseline samples) *
+      wall_threshold`` is a regression; a symmetric improvement is noted.
+      Skipped entirely under ``counts_only`` (cross-host CI, where absolute
+      wall times are not comparable).
+    * counts — exact equality by default; a per-metric entry in
+      ``thresholds`` (e.g. ``{"messages": 1.10}``) instead allows growth up
+      to that ratio.  Counts appearing only on one side are notes.
+    * a baseline run missing from current is a regression (coverage loss);
+      a new current run is a note.
+    """
+    validate(baseline)
+    validate(current)
+    if baseline.get("bench") != current.get("bench"):
+        raise TelemetryError(
+            f"bench mismatch: baseline is {baseline.get('bench')!r}, "
+            f"current is {current.get('bench')!r}"
+        )
+    thresholds = thresholds or {}
+    result = CompareResult()
+    current_runs = {run["name"]: run for run in current["runs"]}
+    baseline_names = set()
+    for base in baseline["runs"]:
+        name = base["name"]
+        baseline_names.add(name)
+        cur = current_runs.get(name)
+        if cur is None:
+            result.issues.append(
+                CompareIssue(name, "presence", "regression", "run missing from current")
+            )
+            continue
+        result.runs_compared += 1
+        for metric, base_value in base["counts"].items():
+            if metric not in cur["counts"]:
+                result.issues.append(
+                    CompareIssue(name, metric, "note", "count missing from current")
+                )
+                continue
+            cur_value = cur["counts"][metric]
+            allowed = thresholds.get(metric)
+            if allowed is None:
+                if cur_value != base_value:
+                    result.issues.append(
+                        CompareIssue(
+                            name,
+                            metric,
+                            "regression",
+                            f"{base_value} -> {cur_value} (exact match required)",
+                        )
+                    )
+            elif base_value and cur_value > base_value * allowed:
+                result.issues.append(
+                    CompareIssue(
+                        name,
+                        metric,
+                        "regression",
+                        f"{base_value} -> {cur_value} "
+                        f"({cur_value / base_value:.3f}x > {allowed:.3f}x allowed)",
+                    )
+                )
+        if counts_only:
+            continue
+        base_samples = [s for s in base["wall_seconds"] if s > 0]
+        cur_samples = [s for s in cur["wall_seconds"] if s > 0]
+        if not base_samples or not cur_samples:
+            result.issues.append(
+                CompareIssue(name, "wall_seconds", "note", "no wall-time samples")
+            )
+            continue
+        base_best = min(base_samples)
+        cur_best = min(cur_samples)
+        ratio = cur_best / base_best if base_best else math.inf
+        detail = (
+            f"min-of-{len(cur_samples)} {cur_best:.4f}s vs "
+            f"min-of-{len(base_samples)} {base_best:.4f}s ({ratio:.3f}x, "
+            f"threshold {wall_threshold:.2f}x)"
+        )
+        if ratio > wall_threshold:
+            result.issues.append(
+                CompareIssue(name, "wall_seconds", "regression", detail)
+            )
+        elif ratio < 1.0 / wall_threshold:
+            result.issues.append(
+                CompareIssue(name, "wall_seconds", "improvement", detail)
+            )
+    for name in current_runs:
+        if name not in baseline_names:
+            result.issues.append(
+                CompareIssue(name, "presence", "note", "new run (no baseline)")
+            )
+    return result

@@ -12,8 +12,12 @@ Subcommands:
   per-superstep timeline (phase times, active set, message traffic);
 * ``profile FILE.gm`` — compile and execute with tracing on and print the
   per-worker load profile and straggler supersteps;
+* ``metrics FILE.gm`` — compile and execute with a recording metrics
+  registry and print the snapshot (``--format json|prom``);
 * ``interp FILE.gm`` — execute under the shared-memory reference semantics;
-* ``bench`` — regenerate the paper's tables/figure on the simulator.
+* ``bench`` — regenerate the paper's tables/figure on the simulator;
+* ``compare BASELINE CURRENT`` — noise-aware perf-regression check between
+  two ``BENCH_*.json`` telemetry documents (exit 1 on regression).
 """
 
 from __future__ import annotations
@@ -212,7 +216,9 @@ def _validate_backend_composition(ns: argparse.Namespace) -> None:
         )
 
 
-def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
+def _execute_traced(
+    ns: argparse.Namespace, *, force_trace: bool = False, metrics_registry=None
+):
     """Compile and run ``ns.file``, threading one tracer through the compiler
     and the engine when tracing is requested (or forced by the subcommand).
     Returns ``(graph, run, tracer)``; trace/metrics exports are written here
@@ -240,6 +246,7 @@ def _execute_traced(ns: argparse.Namespace, *, force_trace: bool = False):
             scheduling=ns.scheduling,
             ft=_build_fault_tolerance(ns),
             tracer=tracer,
+            metrics_registry=metrics_registry,
             transport=_build_transport(ns),
             supervisor=supervisor,
             mem=mem,
@@ -344,6 +351,60 @@ def _cmd_profile(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(ns: argparse.Namespace) -> int:
+    """Run once with a recording metrics registry and print the snapshot
+    (JSON or Prometheus text exposition)."""
+    from .obs import MetricsRegistry, prometheus_text
+
+    registry = MetricsRegistry()
+    graph, run, _tracer, _supervisor, _mem = _execute_traced(
+        ns, metrics_registry=registry
+    )
+    snap = registry.snapshot()
+    if ns.format == "prom":
+        print(prometheus_text(snap), end="")
+    else:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    print(f"graph: {graph}", file=sys.stderr)
+    print(f"metrics: {run.metrics.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(ns: argparse.Namespace) -> int:
+    """Compare two BENCH_*.json documents; exit 1 on regression, 2 on a
+    malformed document or threshold spec."""
+    from .bench.telemetry import TelemetryError, compare, load_bench
+
+    thresholds = {}
+    for spec in ns.threshold:
+        if "=" not in spec:
+            raise _die(f"--threshold expects metric=ratio, got '{spec}'")
+        metric, _, ratio_text = spec.partition("=")
+        try:
+            ratio = float(ratio_text)
+        except ValueError:
+            raise _die(f"--threshold ratio must be a number, got '{ratio_text}'") from None
+        if ratio < 1.0:
+            raise _die(f"--threshold ratio must be >= 1.0, got {ratio}")
+        thresholds[metric] = ratio
+    if ns.wall_threshold < 1.0:
+        raise _die(f"--wall-threshold must be >= 1.0, got {ns.wall_threshold}")
+    try:
+        baseline = load_bench(ns.baseline)
+        current = load_bench(ns.current)
+        result = compare(
+            baseline,
+            current,
+            wall_threshold=ns.wall_threshold,
+            thresholds=thresholds,
+            counts_only=ns.counts_only,
+        )
+    except TelemetryError as exc:
+        raise _die(str(exc)) from None
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_interp(ns: argparse.Namespace) -> int:
     _validate_run_shape(ns)
     source = Path(ns.file).read_text()
@@ -424,11 +485,20 @@ def main(argv: list[str] | None = None) -> int:
         ("run", _cmd_run, "run a .gm file on a graph"),
         ("trace", _cmd_trace, "run with tracing and print the superstep timeline"),
         ("profile", _cmd_profile, "run with tracing and print the per-worker profile"),
+        ("metrics", _cmd_metrics, "run with a metrics registry and print the snapshot"),
         ("interp", _cmd_interp, "interp a .gm file on a graph"),
     )
     for name, fn, help_text in run_like:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("file")
+        if name == "metrics":
+            p.add_argument(
+                "--format",
+                choices=("json", "prom"),
+                default="json",
+                help="snapshot exposition format: structured JSON or the "
+                "Prometheus text format",
+            )
         p.add_argument("--graph", choices=tuple(TABLE1), default="twitter")
         p.add_argument("--graph-file", help="edge-list file instead of a generator")
         p.add_argument("--scale", type=float, default=0.25)
@@ -544,6 +614,36 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--scale", type=float, default=0.5)
     p_bench.add_argument("--repeats", type=int, default=3)
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="compare two BENCH_*.json telemetry documents for perf regressions",
+    )
+    p_compare.add_argument("baseline", help="baseline BENCH_*.json path")
+    p_compare.add_argument("current", help="current BENCH_*.json path")
+    p_compare.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=1.15,
+        metavar="RATIO",
+        help="min-of-N wall-time ratio above which a run regresses "
+        "(default 1.15)",
+    )
+    p_compare.add_argument(
+        "--threshold",
+        action="append",
+        default=[],
+        metavar="METRIC=RATIO",
+        help="per-count threshold, e.g. messages=1.10 allows 10%% growth; "
+        "counts without one must match exactly (repeatable)",
+    )
+    p_compare.add_argument(
+        "--counts-only",
+        action="store_true",
+        help="skip wall-time comparison (cross-host CI: only the "
+        "deterministic counts are comparable)",
+    )
+    p_compare.set_defaults(fn=_cmd_compare)
 
     ns = parser.parse_args(argv)
     try:

@@ -629,9 +629,21 @@ class CompiledProgram:
         if hasattr(engine, "install_bulk_receivers"):
             from .vectorize import build_bulk_receivers
 
+            tracer = getattr(engine, "tracer", None)
+            tracing = tracer is not None and tracer.enabled
+            decisions: list | None = [] if tracing else None
             engine.install_bulk_receivers(
-                build_bulk_receivers(self.ir, self.schema, fields, env["B"])
+                build_bulk_receivers(
+                    self.ir, self.schema, fields, env["B"], decisions=decisions
+                )
             )
+            if tracing and decisions is not None:
+                # info-only: which receive phases compiled to bulk handlers
+                # and why the rest stayed scalar.  Never det — the sim
+                # backend skips the vectorizer entirely, so these events
+                # must not enter cross-backend deterministic comparisons.
+                for decision in decisions:
+                    tracer.event("compile.vectorize", cat="compile", info=decision)
         if hasattr(engine, "_columns"):
             # The mp backend's parent process scatters the workers'
             # partitions back into these columns after the run.

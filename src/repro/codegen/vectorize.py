@@ -282,18 +282,24 @@ def _record_dtype(tag_schema):
 
 
 def _build_phase(phase, tag_schemas, columns, broadcast):
-    """Return {(state, tag): handler} for one phase, or None to stay scalar.
+    """Return ({(state, tag): handler}, reason) for one phase.
+
+    The handler dict is ``None`` when the phase stays scalar; ``reason``
+    then names the first disqualifier (the same strings `_Unvectorizable`
+    carries), so callers can surface *why* a phase missed the fast path.
 
     Vectorization is all-or-nothing per phase: bulk handlers run at the
     delivery barrier, before any scalar receive loop, so mixing the two
     within a phase could reorder effects the simulator interleaves.
     """
     stmts = phase.receive
-    if not stmts or not all(isinstance(s, VMsgLoop) for s in stmts):
-        return None
+    if not stmts:
+        return None, "no receive statements"
+    if not all(isinstance(s, VMsgLoop) for s in stmts):
+        return None, "receive body is not all message loops"
     tags = [s.tag for s in stmts]
     if len(set(tags)) != len(tags):
-        return None
+        return None, "duplicate tag across receive statements"
 
     handlers = {}
     reads: set = set()
@@ -323,9 +329,9 @@ def _build_phase(phase, tag_schemas, columns, broadcast):
         # batched application equals the simulator's per-message order.
         if len(set(writes)) != len(writes) or set(writes) & reads:
             raise _Unvectorizable("field dependence between receive statements")
-    except _Unvectorizable:
-        return None
-    return handlers
+    except _Unvectorizable as exc:
+        return None, str(exc)
+    return handlers, "vectorized"
 
 
 def _make_handler(specs, rec_dtype, msg_fields, columns, touched, broadcast):
@@ -362,7 +368,7 @@ def _make_handler(specs, rec_dtype, msg_fields, columns, touched, broadcast):
 
 
 def build_bulk_receivers(
-    ir: PregelIR, schema, columns: dict, broadcast: dict
+    ir: PregelIR, schema, columns: dict, broadcast: dict, decisions: list | None = None
 ) -> Dict[Tuple[int, int], Callable]:
     """Compile vectorized receive handlers for every eligible phase.
 
@@ -370,13 +376,37 @@ def build_bulk_receivers(
     the generated vertex source closes over); ``broadcast`` is the live
     broadcast dict, read at call time for globals and dispatch state.
     Returns ``{}`` when numpy or the schema is unavailable.
+
+    When ``decisions`` is a list, one record per phase is appended:
+    ``{"phase": id, "eligible": bool, "reason": str, "tags": [...]}`` —
+    the observability feed behind the ``compile.vectorize`` trace events.
     """
     if _np is None or schema is None:
+        if decisions is not None:
+            reason = "numpy unavailable" if _np is None else "no message schema"
+            for phase in ir.phases.values():
+                decisions.append(
+                    {
+                        "phase": phase.phase_id,
+                        "eligible": False,
+                        "reason": reason,
+                        "tags": [],
+                    }
+                )
         return {}
     handlers: Dict[Tuple[int, int], Callable] = {}
     tag_schemas = schema.tags
     for phase in ir.phases.values():
-        built = _build_phase(phase, tag_schemas, columns, broadcast)
+        built, reason = _build_phase(phase, tag_schemas, columns, broadcast)
         if built:
             handlers.update(built)
+        if decisions is not None:
+            decisions.append(
+                {
+                    "phase": phase.phase_id,
+                    "eligible": built is not None,
+                    "reason": reason,
+                    "tags": sorted(tag for _state, tag in built) if built else [],
+                }
+            )
     return handlers

@@ -20,6 +20,16 @@ PageRank run; see ``benchmarks/bench_obs.py``).
 """
 
 from .tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, deterministic_events
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    deterministic_snapshot,
+    prometheus_text,
+)
 from .export import (
     chrome_trace,
     deterministic_jsonl,
@@ -39,7 +49,13 @@ from .profile import (
 )
 
 __all__ = [
+    "NULL_REGISTRY",
     "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
     "NullTracer",
     "Span",
     "StragglerRow",
@@ -49,8 +65,10 @@ __all__ = [
     "chrome_trace",
     "deterministic_events",
     "deterministic_jsonl",
+    "deterministic_snapshot",
     "load_jsonl",
     "profile_report",
+    "prometheus_text",
     "straggler_supersteps",
     "strip_timing",
     "timeline_report",

@@ -23,13 +23,20 @@ from dataclasses import dataclass
 
 @dataclass
 class WorkerStats:
-    """One worker's totals over a traced run."""
+    """One worker's totals over a traced run.
+
+    ``pid`` and ``route_seconds`` are populated only from mp-backend
+    traces, where workers are real OS processes and the exchange barrier
+    times each worker's slab decode + inbox merge.
+    """
 
     worker: int
     computed: int = 0
     sent: int = 0
     bytes: int = 0
     seconds: float = 0.0
+    pid: int | None = None
+    route_seconds: float = 0.0
 
 
 def _superstep_events(events):
@@ -50,7 +57,9 @@ def worker_profile(events) -> list[WorkerStats]:
         sent = det.get("worker_sent") or []
         nbytes = det.get("worker_bytes") or []
         seconds = info.get("worker_seconds") or []
-        _grow(max(len(computed), len(sent), len(nbytes), len(seconds)))
+        pids = info.get("worker_pids") or []
+        route = info.get("worker_route_seconds") or []
+        _grow(max(len(computed), len(sent), len(nbytes), len(seconds), len(pids)))
         for w, v in enumerate(computed):
             stats[w].computed += v
         for w, v in enumerate(sent):
@@ -59,6 +68,10 @@ def worker_profile(events) -> list[WorkerStats]:
             stats[w].bytes += v
         for w, v in enumerate(seconds):
             stats[w].seconds += v
+        for w, v in enumerate(pids):
+            stats[w].pid = v  # stable across supersteps until a restart
+        for w, v in enumerate(route):
+            stats[w].route_seconds += v
     return stats
 
 
@@ -70,6 +83,8 @@ class StragglerRow:
     slowest_worker: int
     slowest_seconds: float
     imbalance: float  # max/mean of per-worker compute seconds (1.0 = balanced)
+    slowest_pid: int | None = None  # OS process identity (mp backend only)
+    slowest_route_seconds: float = 0.0  # exchange-phase time of that worker
 
 
 def straggler_supersteps(events, top: int = 5) -> list[StragglerRow]:
@@ -84,8 +99,17 @@ def straggler_supersteps(events, top: int = 5) -> list[StragglerRow]:
         if mean <= 0:
             continue
         worst = max(range(len(secs)), key=lambda w: secs[w])
+        pids = info.get("worker_pids") or []
+        route = info.get("worker_route_seconds") or []
         rows.append(
-            StragglerRow(det.get("step", -1), worst, secs[worst], max(secs) / mean)
+            StragglerRow(
+                det.get("step", -1),
+                worst,
+                secs[worst],
+                max(secs) / mean,
+                pids[worst] if worst < len(pids) else None,
+                route[worst] if worst < len(route) else 0.0,
+            )
         )
     rows.sort(key=lambda r: r.imbalance, reverse=True)
     return rows[:top]
@@ -99,9 +123,18 @@ def profile_report(events, top: int = 5) -> str:
         return "(no superstep records in trace)"
     lines = ["== per-worker totals =="]
     header = ["worker", "computed", "sent", "bytes", "compute ms", "share"]
+    # mp traces carry real process identities and exchange (route) timings;
+    # single-process backends leave them unset and the columns stay hidden.
+    with_pids = any(s.pid is not None for s in stats)
+    with_route = any(s.route_seconds > 0 for s in stats)
+    if with_pids:
+        header.insert(1, "pid")
+    if with_route:
+        header.append("route ms")
     total_seconds = sum(s.seconds for s in stats) or 1.0
-    rows = [
-        [
+    rows = []
+    for s in stats:
+        row = [
             str(s.worker),
             str(s.computed),
             str(s.sent),
@@ -109,8 +142,11 @@ def profile_report(events, top: int = 5) -> str:
             f"{s.seconds * 1e3:.2f}",
             f"{100.0 * s.seconds / total_seconds:.1f}%",
         ]
-        for s in stats
-    ]
+        if with_pids:
+            row.insert(1, "-" if s.pid is None else str(s.pid))
+        if with_route:
+            row.append(f"{s.route_seconds * 1e3:.2f}")
+        rows.append(row)
     widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
     lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
     lines.append("  ".join("-" * w for w in widths))
@@ -127,9 +163,15 @@ def profile_report(events, top: int = 5) -> str:
         lines.append("")
         lines.append(f"== top {len(stragglers)} straggler supersteps ==")
         for row in stragglers:
-            lines.append(
-                f"  step {row.step}: worker {row.slowest_worker} took "
+            who = f"worker {row.slowest_worker}"
+            if row.slowest_pid is not None:
+                who += f" (pid {row.slowest_pid})"
+            line = (
+                f"  step {row.step}: {who} took "
                 f"{row.slowest_seconds * 1e3:.2f} ms "
                 f"({row.imbalance:.2f}x the mean)"
             )
+            if row.slowest_route_seconds > 0:
+                line += f", route {row.slowest_route_seconds * 1e3:.2f} ms"
+            lines.append(line)
     return "\n".join(lines)

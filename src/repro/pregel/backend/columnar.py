@@ -95,6 +95,11 @@ class ColumnarEngine(PregelEngine):
         )
         if not self._slab_active:
             return
+        if self._mreg is not None:
+            self._m_slab_flushes = self._mreg.counter("columnar.slab_flushes")
+            self._m_slab_records = self._mreg.counter("columnar.slab_records")
+            self._m_bulk_records = self._mreg.counter("columnar.bulk_records")
+            self._m_scalar_records = self._mreg.counter("columnar.scalar_records")
         self._codec = MessageCodec(schema)
         ntags = (max(schema.tags) + 1) if schema.tags else 0
         #: per-tag staging: interleave-ordered destination chunks (numpy
@@ -129,6 +134,11 @@ class ColumnarEngine(PregelEngine):
         """
         if self._slab_active:
             self._bulk_receivers = handlers
+            # Backend provenance for RunMetrics.summary(): which receive
+            # phases actually have a vectorized path on this run.
+            self.metrics.vectorized_phases = sorted(
+                {f"phase{state}" for state, _tag in handlers}
+            )
 
     # -- staging --------------------------------------------------------
 
@@ -216,6 +226,7 @@ class ColumnarEngine(PregelEngine):
         slots = self._inbox_slots
         receiving = touched.append
         no_messages = _NO_MESSAGES
+        metered = self._mreg is not None
         for tag in self._codec.tag_ids:
             singles = self._slab_singles[tag]
             chunks = self._slab_chunks[tag]
@@ -228,6 +239,9 @@ class ColumnarEngine(PregelEngine):
             self._slab_chunks[tag] = []
             payload = bytes(self._slab_payloads[tag])
             self._slab_payloads[tag] = bytearray()
+            if metered:
+                self._m_slab_flushes.inc()
+                self._m_slab_records.inc(len(dsts))
             if self._bulk_receivers:
                 # The master has already broadcast this superstep's state,
                 # so the handler keyed by (state, tag) is exactly the
@@ -237,7 +251,11 @@ class ColumnarEngine(PregelEngine):
                 )
                 if handler is not None:
                     handler(dsts, payload, len(dsts))
+                    if metered:
+                        self._m_bulk_records.inc(len(dsts))
                     continue
+            if metered:
+                self._m_scalar_records.inc(len(dsts))
             records = self._codec.unpack[tag](payload, len(dsts))
             # Group by receiver with one stable sort: per-receiver order
             # within a tag stays global send order, and receive code

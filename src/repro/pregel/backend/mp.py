@@ -202,6 +202,7 @@ class MPEngine:
         transport=None,
         supervisor=None,
         mem=None,
+        metrics_registry=None,
         mp_slab_bytes: int | None = None,
     ):
         refusals = composition_refusals(
@@ -256,6 +257,17 @@ class MPEngine:
         self._columns: dict[str, Any] = {}
         self.mem = None
         self.tracer = tracer
+        # Metrics registry: the parent owns the authoritative registry;
+        # each worker process builds its own post-fork and ships snapshots
+        # back in its barrier replies, merged parent-side (counters sum,
+        # histograms bucket-sum, gauges max) — set before ft.attach() so
+        # the FT manager picks up its instruments.
+        self.metrics_registry = metrics_registry
+        self._mreg = (
+            metrics_registry
+            if metrics_registry is not None and metrics_registry.enabled
+            else None
+        )
         self.ft = ft
         self._voted = None  # master-driven: no vote_to_halt (FT replay reads this)
         self._ft_replaying = False
@@ -471,6 +483,10 @@ class MPEngine:
         m.wall_seconds = time.perf_counter() - start
         m.result = self.result
         m.halt_reason = halt_reason
+        if self._mreg is not None:
+            self._mreg.counter("pregel.runs", det=True, halt_reason=halt_reason).inc()
+            self._mreg.histogram("pregel.run_seconds").observe(m.wall_seconds)
+            self._mreg.gauge("pregel.num_workers").set_max(self.num_workers)
         if traced:
             tracer.event(
                 "run.end",
@@ -549,6 +565,19 @@ class MPEngine:
         ft = self.ft
         tracer = self.tracer
         traced = tracer is not None and tracer.enabled
+        mreg = self._mreg
+        metered = mreg is not None
+        instr = traced or metered
+        if metered:
+            m_steps = mreg.counter("pregel.supersteps", det=True)
+            m_messages = mreg.counter("pregel.messages", det=True)
+            m_msg_bytes = mreg.counter("pregel.message_bytes", det=True)
+            m_net_messages = mreg.counter("pregel.net_messages", det=True)
+            m_net_bytes = mreg.counter("pregel.net_bytes", det=True)
+            m_broadcasts = mreg.counter("pregel.broadcasts", det=True)
+            m_step_s = mreg.histogram("pregel.superstep_seconds")
+            m_master_s = mreg.histogram("pregel.phase_seconds", phase="master")
+            m_exchange_s = mreg.histogram("pregel.phase_seconds", phase="exchange")
         worker_of = self._worker_of
         sizes = self._codec.sizes
         w = self.num_workers
@@ -562,16 +591,18 @@ class MPEngine:
                 ft.on_superstep_start()
                 if self._refork_all or self._refork_workers:
                     self._refork()
-            if traced:
+            if instr:
                 # Snapshot the ledger *after* any recovery so the superstep
                 # record meters exactly this superstep's deltas.
-                step_ts = tracer.now()
+                t_step0 = time.perf_counter()
                 s_messages = m.messages
                 s_message_bytes = m.message_bytes
                 s_net_messages = m.net_messages
                 s_net_bytes = m.net_bytes
                 s_broadcasts = m.broadcast_values
-                s_worker_sent = list(m.worker_sent)
+                if traced:
+                    step_ts = tracer.now()
+                    s_worker_sent = list(m.worker_sent)
             # Master phase: sees globals aggregated from the previous
             # superstep — exactly the simulator's ordering.
             if self._master_compute is not None:
@@ -580,6 +611,8 @@ class MPEngine:
                     return "master_halt"
             if ft is not None:
                 ft.on_master_done()
+            if metered:
+                m_master_s.observe(time.perf_counter() - t_step0)
             bcast = dict(self.globals.broadcast)
             for conn in self._conns:
                 conn.send(("step", bcast))
@@ -642,10 +675,21 @@ class MPEngine:
                 put_reduce(name, op, value)
             directories = [r[1] for r in replies]
             inlines = [r[2] for r in replies]
+            if instr:
+                t_exchange = time.perf_counter()
             for conn in self._conns:
                 conn.send(("exchange", directories, inlines, combined_parts))
+            # The exchange barrier: each worker replies ("ready",
+            # route_seconds, registry_snapshot | None) — this is where the
+            # per-worker registries merge into the parent's.
+            worker_route_seconds = []
             for conn in self._conns:
-                self._recv(conn)
+                ready = self._recv(conn)
+                worker_route_seconds.append(ready[1] if len(ready) > 1 else 0.0)
+                if metered and len(ready) > 2 and ready[2]:
+                    mreg.merge_snapshot(ready[2])
+            if metered:
+                m_exchange_s.observe(time.perf_counter() - t_exchange)
             if ft is not None:
                 # Decode this superstep's outbox from the slabs while the
                 # segments still hold them: checkpoint payloads and the
@@ -660,6 +704,14 @@ class MPEngine:
                 ft.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
+            if metered:
+                m_steps.inc()
+                m_messages.inc(m.messages - s_messages)
+                m_msg_bytes.inc(m.message_bytes - s_message_bytes)
+                m_net_messages.inc(m.net_messages - s_net_messages)
+                m_net_bytes.inc(m.net_bytes - s_net_bytes)
+                m_broadcasts.inc(m.broadcast_values - s_broadcasts)
+                m_step_s.observe(time.perf_counter() - t_step0)
             if traced:
                 tracer.event(
                     "superstep",
@@ -685,6 +737,12 @@ class MPEngine:
                         "mode": "dense",
                         "frontier": -1,
                         "worker_seconds": worker_seconds,
+                        # Real-process identities + per-worker exchange
+                        # (route) timings: `gm-pregel profile` ranks
+                        # stragglers by actual OS process.  Info-only —
+                        # pids differ run to run by construction.
+                        "worker_pids": [proc.pid for proc in self._procs],
+                        "worker_route_seconds": worker_route_seconds,
                     },
                 )
         return "max_supersteps"
@@ -916,6 +974,17 @@ class _Worker:
         graph = engine.graph
         n = graph.num_nodes
         self._w = engine.num_workers
+        # Per-process registry (built post-fork when the parent meters):
+        # snapshots ship back — and reset — with every exchange reply, so
+        # each barrier merge carries exactly one superstep's increments.
+        # Instruments are re-resolved per bump (the reset drops handles);
+        # at once-per-superstep frequency that lookup is noise.
+        self._mreg = None
+        parent_reg = engine.metrics_registry
+        if parent_reg is not None and parent_reg.enabled:
+            from ...obs.metrics import MetricsRegistry
+
+            self._mreg = MetricsRegistry()
         self._worker_of = engine._worker_of
         self._combiners = engine._combiners
         codec = engine._codec
@@ -988,6 +1057,14 @@ class _Worker:
                     c = self._counters
                     c["computed"] = len(self._own_vids)
                     c["seconds"] = time.perf_counter() - t0
+                    if self._mreg is not None:
+                        wid = str(self.wid)
+                        self._mreg.histogram(
+                            "mp.worker_step_seconds", worker=wid
+                        ).observe(c["seconds"])
+                        self._mreg.counter(
+                            "mp.worker_staged_bytes", worker=wid
+                        ).inc(c["staged"])
                     directory, inline = self._write_slabs()
                     slots = [
                         (birth, dst, tag, msg)
@@ -1000,6 +1077,7 @@ class _Worker:
                     self._counters = self._fresh_counters()
                     self._puts = []
                 elif kind == "exchange":
+                    t0 = time.perf_counter()
                     self._read_slabs(cmd[1], cmd[2])
                     inbox = self._inbox
                     for dst, msg in cmd[3][self.wid]:
@@ -1008,7 +1086,14 @@ class _Worker:
                             inbox[dst] = [msg]
                         else:
                             bucket.append(msg)
-                    conn.send(("ready",))
+                    route_s = time.perf_counter() - t0
+                    snap = None
+                    if self._mreg is not None:
+                        self._mreg.histogram(
+                            "mp.worker_route_seconds", worker=str(self.wid)
+                        ).observe(route_s)
+                        snap = self._mreg.snapshot(reset=True)
+                    conn.send(("ready", route_s, snap))
                 elif kind == "snapshot":
                     conn.send(("columns", self._gather()))
                 elif kind == "seed":

@@ -175,6 +175,7 @@ class FaultTolerance:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._engine: "PregelEngine | None" = None
+        self._mreg = None  # engine's metrics registry, picked up at attach()
         self._programs: list[Checkpointable] = []
         #: (superstep, blob) — latest entry is the recovery point.  The blob
         #: is pickled bytes, or a streamed on-disk handle when the engine
@@ -205,6 +206,7 @@ class FaultTolerance:
                     f"has {engine.num_workers} workers"
                 )
         self._engine = engine
+        self._mreg = getattr(engine, "_mreg", None)
 
     def register(self, program: Checkpointable) -> None:
         """Add program-owned state to every future checkpoint."""
@@ -299,6 +301,9 @@ class FaultTolerance:
         self._checkpoints.append((engine.superstep, blob))
         engine.metrics.checkpoints_taken += 1
         engine.metrics.checkpoint_bytes += nbytes
+        if self._mreg is not None:
+            self._mreg.counter("ft.checkpoints").inc()
+            self._mreg.histogram("ft.checkpoint_bytes").observe(nbytes)
         tracer = self._tracer()
         if tracer is not None:
             tracer.event(
@@ -353,6 +358,9 @@ class FaultTolerance:
         ckpt_step, blob = self._checkpoints[-1]
         lost = engine.superstep - ckpt_step
         metrics.lost_supersteps += lost
+        if self._mreg is not None:
+            self._mreg.counter("ft.crashes").inc()
+            self._mreg.counter("ft.lost_supersteps").inc(lost)
         tracer = self._tracer()
         if tracer is not None:
             tracer.event(
@@ -380,6 +388,11 @@ class FaultTolerance:
                 partitions if partitions is not None else (crash.worker,)
             ):
                 self._confined_recover(partition, ckpt_step, payload)
+        if self._mreg is not None:
+            self._mreg.counter("ft.recoveries", strategy=self.plan.recovery).inc()
+            self._mreg.counter("ft.replay_work").inc(
+                metrics.recovery_replay_work - replay_before
+            )
         if tracer is not None:
             tracer.event(
                 "ft.recovery",

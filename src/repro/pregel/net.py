@@ -168,6 +168,7 @@ class SimulatedTransport:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._engine: "PregelEngine | None" = None
+        self._mreg = None  # engine's metrics registry, picked up at attach()
         self._next_seq: list[int] = []
         #: protocol-level ledger (simulated latency, rounds, ack losses);
         #: result-relevant fault counters live in ``RunMetrics``.
@@ -192,6 +193,7 @@ class SimulatedTransport:
         if self._engine is not None:
             raise RuntimeError("a SimulatedTransport drives exactly one run")
         self._engine = engine
+        self._mreg = getattr(engine, "_mreg", None)
         self._next_seq = [0] * engine.num_workers
 
     # -- routing ---------------------------------------------------------
@@ -243,6 +245,16 @@ class SimulatedTransport:
         rng = self._rng
         metrics = self._engine.metrics
         stats = self.stats
+        mreg = self._mreg
+        if mreg is not None:
+            # Registry bumps happen once per routed stream from ledger
+            # deltas — never inside the per-packet loop below.
+            s_dropped = metrics.messages_dropped
+            s_duplicated = metrics.messages_duplicated
+            s_reordered = metrics.messages_reordered
+            s_corrupted = metrics.messages_corrupted
+            s_retransmitted = metrics.packets_retransmitted
+            s_backoff = metrics.net_backoff_units
         drop = plan.drop_rate
         dup = plan.dup_rate
         reorder = plan.reorder_rate
@@ -326,6 +338,25 @@ class SimulatedTransport:
                     acked[seq] = 1
                     unacked -= 1
         assert expected == n, "protocol invariant: stream fully reconstructed"
+        if mreg is not None:
+            mreg.counter("net.messages_routed").inc(n)
+            mreg.counter("net.dropped").inc(metrics.messages_dropped - s_dropped)
+            mreg.counter("net.duplicated").inc(
+                metrics.messages_duplicated - s_duplicated
+            )
+            mreg.counter("net.reordered").inc(
+                metrics.messages_reordered - s_reordered
+            )
+            mreg.counter("net.corrupted").inc(
+                metrics.messages_corrupted - s_corrupted
+            )
+            mreg.counter("net.retransmitted").inc(
+                metrics.packets_retransmitted - s_retransmitted
+            )
+            mreg.counter("net.backoff_units").inc(
+                metrics.net_backoff_units - s_backoff
+            )
+            mreg.gauge("net.reorder_buffer_peak").set_max(parked_peak)
         if parked_peak > stats["reorder_buffer_peak"]:
             stats["reorder_buffer_peak"] = parked_peak
         if avg_bytes and parked_peak:

@@ -58,6 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .mem import MemoryManager
     from .net import SimulatedTransport
     from .supervisor import Supervisor
+    from ..obs.metrics import MetricsRegistry
     from ..obs.tracer import Tracer
 
 from .globalmap import GlobalObjectMap, GlobalOp
@@ -154,6 +155,12 @@ class RunMetrics:
     #: writer's peak buffered bytes.
     mem_peak_bytes: int = 0
     checkpoint_peak_bytes: int = 0
+    # -- codegen/backend provenance ---------------------------------------
+    #: receive phases the columnar vectorizer actually installed bulk
+    #: handlers for ("phase<id>" labels) — empty on sim/mp and whenever the
+    #: slab fast path is inactive.  Backend provenance like ``backend``
+    #: itself, so excluded from parity_key().
+    vectorized_phases: list[str] = field(default_factory=list)
 
     def makespan_inflation(self) -> float:
         """makespan / perfectly-balanced makespan (1.0 = no imbalance)."""
@@ -203,6 +210,8 @@ class RunMetrics:
             f"halt={self.halt_reason or '?'} wall={self.wall_seconds:.3f}s "
             f"backend={self.backend}"
         )
+        if self.vectorized_phases:
+            text += f" vectorized=[{','.join(self.vectorized_phases)}]"
         if self.checkpoints_taken or self.faults_injected:
             text += (
                 f" | ft: checkpoints={self.checkpoints_taken} "
@@ -284,6 +293,7 @@ class PregelEngine:
         transport: "SimulatedTransport | None" = None,
         supervisor: "Supervisor | None" = None,
         mem: "MemoryManager | None" = None,
+        metrics_registry: "MetricsRegistry | None" = None,
     ):
         self.graph = graph
         self._vertex_compute = vertex_compute
@@ -299,6 +309,17 @@ class PregelEngine:
         self.superstep = 0
         self.result: Any = None
         self.metrics = RunMetrics()
+        # Metrics registry (repro.obs.metrics): cumulative counters/gauges/
+        # histograms with the tracer's zero-cost discipline — ``None`` and a
+        # disabled registry both collapse to ``_mreg = None`` and the hot
+        # loops are untouched.  Set before the subsystem attach() calls below
+        # so ft/transport/supervisor/mem can pick up their instruments.
+        self.metrics_registry = metrics_registry
+        self._mreg = (
+            metrics_registry
+            if metrics_registry is not None and metrics_registry.enabled
+            else None
+        )
 
         self._halt = False
         self._outbox: dict[int, list] = {}
@@ -827,6 +848,12 @@ class PregelEngine:
         self.metrics.wall_seconds = time.perf_counter() - start
         self.metrics.result = self.result
         self.metrics.halt_reason = halt_reason
+        if self._mreg is not None:
+            self._mreg.counter("pregel.runs", det=True, halt_reason=halt_reason).inc()
+            self._mreg.histogram("pregel.run_seconds").observe(
+                self.metrics.wall_seconds
+            )
+            self._mreg.gauge("pregel.num_workers").set_max(self.num_workers)
         if traced:
             m = self.metrics
             tracer.event(
@@ -893,6 +920,26 @@ class PregelEngine:
         transport = self._transport
         batched = self._batched
         threshold = max(1, int(self._frontier_threshold * n))
+        # Metering (repro.obs.metrics) shares the tracer's phase clocks:
+        # ``instr`` gates the perf_counter reads, ``traced``/``metered``
+        # gate what they feed.  Instrument handles are resolved once here
+        # so the loop bumps plain attributes.
+        mreg = self._mreg
+        metered = mreg is not None
+        instr = traced or metered
+        if metered:
+            m_steps = mreg.counter("pregel.supersteps", det=True)
+            m_messages = mreg.counter("pregel.messages", det=True)
+            m_msg_bytes = mreg.counter("pregel.message_bytes", det=True)
+            m_net_messages = mreg.counter("pregel.net_messages", det=True)
+            m_net_bytes = mreg.counter("pregel.net_bytes", det=True)
+            m_broadcasts = mreg.counter("pregel.broadcasts", det=True)
+            m_step_s = mreg.histogram("pregel.superstep_seconds")
+            m_phase_s = {
+                phase: mreg.histogram("pregel.phase_seconds", phase=phase)
+                for phase in ("master", "route", "vertex", "combine", "barrier")
+            }
+            m_frontier = mreg.histogram("pregel.frontier_size")
         while self.superstep < self._max_supersteps:
             # Supervision boundary (before the FT hook: detection must see
             # the barrier the workers just crossed, and recovery needs the
@@ -907,31 +954,32 @@ class PregelEngine:
             # scheduled crash (recovery may rewind ``self.superstep``).
             if ft is not None:
                 ft.on_superstep_start()
-            if traced:
+            if instr:
                 # Snapshot the ledger *after* any recovery so the superstep
                 # record meters exactly this superstep's deltas.
                 _m = self.metrics
-                step_ts = tracer.now()
-                t_phase = time.perf_counter()
+                t_step0 = t_phase = time.perf_counter()
                 s_messages = _m.messages
                 s_message_bytes = _m.message_bytes
                 s_net_messages = _m.net_messages
                 s_net_bytes = _m.net_bytes
                 s_broadcasts = _m.broadcast_values
-                s_worker_sent = list(_m.worker_sent)
-                if transport is not None:
-                    s_dropped = _m.messages_dropped
-                    s_duplicated = _m.messages_duplicated
-                    s_reordered = _m.messages_reordered
-                    s_corrupted = _m.messages_corrupted
-                    s_retransmitted = _m.packets_retransmitted
-                tw_computed = self._trace_worker_computed
-                tw_seconds = self._trace_worker_seconds
-                tw_bytes = self._trace_worker_bytes
-                for w in range(self.num_workers):
-                    tw_computed[w] = 0
-                    tw_seconds[w] = 0.0
-                    tw_bytes[w] = 0
+                if traced:
+                    step_ts = tracer.now()
+                    s_worker_sent = list(_m.worker_sent)
+                    if transport is not None:
+                        s_dropped = _m.messages_dropped
+                        s_duplicated = _m.messages_duplicated
+                        s_reordered = _m.messages_reordered
+                        s_corrupted = _m.messages_corrupted
+                        s_retransmitted = _m.packets_retransmitted
+                    tw_computed = self._trace_worker_computed
+                    tw_seconds = self._trace_worker_seconds
+                    tw_bytes = self._trace_worker_bytes
+                    for w in range(self.num_workers):
+                        tw_computed[w] = 0
+                        tw_seconds[w] = 0.0
+                        tw_bytes[w] = 0
 
             # Master phase: sees globals aggregated from the previous superstep.
             if self._master_compute is not None:
@@ -941,7 +989,7 @@ class PregelEngine:
                     break
             if ft is not None:
                 ft.on_master_done()
-            if traced:
+            if instr:
                 t_now = time.perf_counter()
                 master_s, t_phase = t_now - t_phase, t_now
 
@@ -1019,10 +1067,10 @@ class PregelEngine:
                         halt_reason = "all_halted"
                         break
 
-            if traced:
+            if instr:
                 t_now = time.perf_counter()
                 route_s, t_phase = t_now - t_phase, t_now
-                if transport is not None:
+                if traced and transport is not None:
                     # Info-only (like ft.*): faulted traces must project to
                     # the same deterministic stream as failure-free ones.
                     _m = self.metrics
@@ -1086,7 +1134,7 @@ class PregelEngine:
                         step_work[worker_of[vid]] += 1
                     compute(self, vid, inbox.get(vid, _NO_MESSAGES))
             self._current_vertex = -1  # leaving the vertex phase
-            if traced:
+            if instr:
                 t_now = time.perf_counter()
                 vertex_s, t_phase = t_now - t_phase, t_now
 
@@ -1099,7 +1147,7 @@ class PregelEngine:
                     # stages — and budget-charges — the folded payloads).
                     mem.check_combiner(self._combined)
                 self._flush_combined()
-            if traced:
+            if instr:
                 t_now = time.perf_counter()
                 combine_s, t_phase = t_now - t_phase, t_now
             if self._record_per_superstep:
@@ -1118,8 +1166,26 @@ class PregelEngine:
                 mem.on_superstep_end()
             self.globals.end_superstep()
             self.superstep += 1
-            if traced:
+            if instr:
                 m = self.metrics
+                t_now = time.perf_counter()
+                barrier_s = t_now - t_phase
+                if metered:
+                    m_steps.inc()
+                    m_messages.inc(m.messages - s_messages)
+                    m_msg_bytes.inc(m.message_bytes - s_message_bytes)
+                    m_net_messages.inc(m.net_messages - s_net_messages)
+                    m_net_bytes.inc(m.net_bytes - s_net_bytes)
+                    m_broadcasts.inc(m.broadcast_values - s_broadcasts)
+                    m_step_s.observe(t_now - t_step0)
+                    m_phase_s["master"].observe(master_s)
+                    m_phase_s["route"].observe(route_s)
+                    m_phase_s["vertex"].observe(vertex_s)
+                    m_phase_s["combine"].observe(combine_s)
+                    m_phase_s["barrier"].observe(barrier_s)
+                    if frontier is not None:
+                        m_frontier.observe(len(frontier))
+            if traced:
                 tracer.event(
                     "superstep",
                     cat="engine",
@@ -1147,7 +1213,7 @@ class PregelEngine:
                         "route_s": route_s,
                         "vertex_s": vertex_s,
                         "combine_s": combine_s,
-                        "barrier_s": time.perf_counter() - t_phase,
+                        "barrier_s": barrier_s,
                         "worker_seconds": list(tw_seconds),
                     },
                 )

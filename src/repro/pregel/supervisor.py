@@ -219,6 +219,7 @@ class Supervisor:
     def __init__(self, plan: SupervisorPlan):
         self.plan = plan
         self._engine: "PregelEngine | None" = None
+        self._mreg = None  # engine's metrics registry, picked up at attach()
         self._rng = random.Random(plan.seed)
         self._started = False
         self._clock = 0.0
@@ -258,6 +259,7 @@ class Supervisor:
                     f"has {workers} workers"
                 )
         self._engine = engine
+        self._mreg = getattr(engine, "_mreg", None)
         # A recovery point must exist before anything can be detected dead.
         engine.ft.force_initial_checkpoint = True
 
@@ -343,6 +345,9 @@ class Supervisor:
             detected_at = max(self._clock, self._last_heartbeat[w] + silence)
             missed = int((detected_at - self._last_heartbeat[w]) // interval)
             engine.metrics.heartbeats_missed += missed
+            if self._mreg is not None:
+                self._mreg.counter("supervisor.detections").inc()
+                self._mreg.counter("supervisor.heartbeats_missed").inc(missed)
             self._clock = max(self._clock, detected_at)
             detection = {
                 "worker": w,
@@ -375,6 +380,8 @@ class Supervisor:
                 return
             self.restarts_used += 1
             engine.metrics.restarts += 1
+            if self._mreg is not None:
+                self._mreg.counter("supervisor.restarts").inc()
             detection["action"] = "restarted"
             self._detections.append(detection)
             engine.ft.recover_worker(w, partitions=self._hosted(w))
@@ -441,6 +448,8 @@ class Supervisor:
             self._host_of[p] = min(targets, key=lambda w: (load[w], w))
         self._quarantined.add(worker)
         self._engine.metrics.workers_quarantined += 1
+        if self._mreg is not None:
+            self._mreg.counter("supervisor.quarantines").inc()
         record = {
             "worker": worker,
             "superstep": self._engine.superstep,
