@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from ..compiler import compile_algorithm
 from ..graphgen.registry import applicable_graphs, load_graph
-from ..pregel.ft import CrashEvent, FaultPlan, FaultTolerance
+from ..pregel.ft import CrashEvent, FaultPlan, FaultTolerance, RealFault
 from ..pregel.net import NetFaultPlan, SimulatedTransport
 from ..pregel.supervisor import Supervisor, SupervisorPlan
 from .harness import default_args
@@ -356,6 +356,76 @@ def recovery_latency_sweep(
                     wall_seconds=statistics.median(walls),
                     retransmitted=run.metrics.packets_retransmitted,
                     backoff_units=run.metrics.net_backoff_units,
+                )
+            )
+    return rows
+
+
+@dataclass
+class MPKillRow:
+    """One point of the real-process fault sweep on the mp backend."""
+
+    kind: str  # "kill" | "hang"
+    recovery: str
+    deadline_s: float
+    identical: bool
+    restarts: int
+    wall_seconds: float
+    overhead_s: float
+
+
+def mp_kill_sweep(
+    kinds: tuple[str, ...] = ("kill", "hang"),
+    *,
+    scale: float = 0.12,
+    workers: int = 2,
+    deadline_s: float = 1.5,
+) -> list[MPKillRow]:
+    """Real SIGKILL / hang faults against live mp worker processes: the
+    parent's deadline-based barrier detects the failure, re-forks the
+    worker from the latest checkpoint, and the run must finish
+    bit-identical to the failure-free mp baseline.  The wall overhead is
+    the real price of detection + re-fork + replay (for ``hang`` the
+    floor is the exchange deadline itself).  Returns ``[]`` when the
+    platform cannot run the mp backend."""
+    from ..pregel.backend.mp import mp_available
+
+    if not mp_available():
+        return []
+    graph = load_graph("twitter", scale)
+    program = compile_algorithm("pagerank", emit_java=False).program
+    args = default_args("pagerank", graph)
+    t0 = time.perf_counter()
+    baseline = program.run(graph, args, backend="mp", num_workers=workers)
+    base_wall = time.perf_counter() - t0
+    crash_step = max(1, baseline.metrics.supersteps - 2)
+    rows: list[MPKillRow] = []
+    for recovery in ("rollback", "confined"):
+        for kind in kinds:
+            ft = FaultTolerance(FaultPlan(checkpoint_every=2, recovery=recovery))
+            t0 = time.perf_counter()
+            run = program.run(
+                graph,
+                args,
+                backend="mp",
+                num_workers=workers,
+                ft=ft,
+                real_faults=(RealFault(kind, 1, crash_step),),
+                exchange_deadline=deadline_s,
+            )
+            wall = time.perf_counter() - t0
+            rows.append(
+                MPKillRow(
+                    kind=kind,
+                    recovery=recovery,
+                    deadline_s=deadline_s,
+                    identical=(
+                        run.outputs == baseline.outputs
+                        and run.metrics.parity_key() == baseline.metrics.parity_key()
+                    ),
+                    restarts=run.metrics.restarts,
+                    wall_seconds=wall,
+                    overhead_s=wall - base_wall,
                 )
             )
     return rows

@@ -76,6 +76,10 @@ def _validate_run_shape(ns: argparse.Namespace) -> None:
         raise _die(f"--checkpoint-every must be >= 0, got {ns.checkpoint_every}")
     if getattr(ns, "max_restarts", 0) < 0:
         raise _die(f"--max-restarts must be >= 0, got {ns.max_restarts}")
+    if getattr(ns, "exchange_deadline", 30.0) <= 0:
+        raise _die(
+            f"--exchange-deadline must be > 0, got {ns.exchange_deadline}"
+        )
 
 
 def _cmd_compile(ns: argparse.Namespace) -> int:
@@ -112,29 +116,39 @@ def _load_cli_graph(ns: argparse.Namespace):
 
 
 def _build_fault_tolerance(ns: argparse.Namespace):
-    """A FaultTolerance manager from the CLI flags, or None when unused.
+    """``(FaultTolerance | None, real_faults)`` from the CLI flags.
 
     ``--heartbeat`` implies fault tolerance (detection escalates into
     checkpoint recovery), so supervision alone still gets a manager.
+    ``--inject-fault`` accepts simulated crashes (``W@S``, any backend)
+    and real process faults (``kill:W@S`` / ``hang:W@S``, mp only) —
+    the latter are returned separately for the mp engine.
     """
     if not ns.checkpoint_every and not ns.inject_fault and not ns.heartbeat:
-        return None
-    from .pregel.ft import FaultPlan, FaultTolerance, parse_crash
+        return None, ()
+    from .pregel.ft import FaultPlan, FaultTolerance, RealFault, parse_fault
 
     try:
+        faults = [parse_fault(spec) for spec in ns.inject_fault]
+        for fault in faults:
+            if fault.worker >= ns.workers:
+                raise ValueError(
+                    f"names worker {fault.worker} but --workers is {ns.workers}"
+                )
+        real = tuple(f for f in faults if isinstance(f, RealFault))
+        if real and ns.backend != "mp":
+            raise ValueError(
+                f"'{real[0].kind}:' faults are real process faults — they "
+                "need real worker processes (run with --backend mp)"
+            )
         plan = FaultPlan(
             checkpoint_every=ns.checkpoint_every,
-            crashes=tuple(parse_crash(spec) for spec in ns.inject_fault),
+            crashes=tuple(f for f in faults if not isinstance(f, RealFault)),
             recovery=ns.recovery,
         )
-        for crash in plan.crashes:
-            if crash.worker >= ns.workers:
-                raise ValueError(
-                    f"names worker {crash.worker} but --workers is {ns.workers}"
-                )
     except ValueError as exc:
         raise _die(f"--inject-fault: {exc}") from None
-    return FaultTolerance(plan)
+    return FaultTolerance(plan), real
 
 
 def _build_transport(ns: argparse.Namespace):
@@ -204,8 +218,6 @@ def _validate_backend_composition(ns: argparse.Namespace) -> None:
     sentinel = object()
     refusals = composition_refusals(
         transport=sentinel if ns.net_faults else None,
-        supervisor=sentinel if ns.heartbeat else None,
-        mem=sentinel if ns.mem_budget else None,
     )
     if refusals:
         raise _die(refusals[0])
@@ -225,6 +237,14 @@ def _execute_traced(
     so every run-shaped subcommand shares them."""
     _validate_run_shape(ns)
     _validate_backend_composition(ns)
+    # Build every flag-derived component *before* the graph loads: a
+    # malformed --inject-fault / --heartbeat / --mem-budget spec is a
+    # usage error and must exit 2 in milliseconds, not after seconds of
+    # graph generation.
+    ft, real_faults = _build_fault_tolerance(ns)
+    transport = _build_transport(ns)
+    supervisor = _build_supervisor(ns)
+    mem = _build_mem(ns)
     tracer = None
     if force_trace or ns.trace or ns.trace_chrome:
         from .obs import Tracer
@@ -234,8 +254,15 @@ def _execute_traced(
     graph = _load_cli_graph(ns)
     result = compile_source(source, emit_java=False, tracer=tracer)
     args = _parse_args_list(ns.arg)
-    supervisor = _build_supervisor(ns)
-    mem = _build_mem(ns)
+    engine_opts = {}
+    if ns.backend == "mp":
+        # mp-only knobs: the sim/columnar engines have no worker
+        # processes, so they do not take these keyword arguments.
+        engine_opts = {
+            "real_faults": real_faults,
+            "exchange_deadline": ns.exchange_deadline,
+            "max_restarts": ns.max_restarts,
+        }
     try:
         run = result.program.run(
             graph,
@@ -244,12 +271,13 @@ def _execute_traced(
             num_workers=ns.workers,
             seed=ns.seed,
             scheduling=ns.scheduling,
-            ft=_build_fault_tolerance(ns),
+            ft=ft,
             tracer=tracer,
             metrics_registry=metrics_registry,
-            transport=_build_transport(ns),
+            transport=transport,
             supervisor=supervisor,
             mem=mem,
+            **engine_opts,
         )
     except BackendUnsupported as exc:
         # A feature composition the backend deliberately refuses is a
@@ -315,11 +343,14 @@ def _cmd_run(ns: argparse.Namespace) -> int:
                 f"clock={report['clock_units']:.1f} units"
             )
         for detection in report["detections"]:
+            cause = detection.get("cause")
             print(
                 f"supervisor: worker {detection['worker']} declared dead at "
                 f"superstep {detection['superstep']} after "
                 f"{detection['silence']:.2f} units of silence "
-                f"(phi={detection['phi']:.2f}) -> {detection['action']}"
+                f"(phi={detection['phi']:.2f}"
+                + (f", cause={cause}" if cause else "")
+                + f") -> {detection['action']}"
             )
     if run.result is not None:
         print(f"result: {run.result}")
@@ -537,9 +568,13 @@ def main(argv: list[str] | None = None) -> int:
                 "--inject-fault",
                 action="append",
                 default=[],
-                metavar="WORKER@STEP",
+                metavar="[KIND:]WORKER@STEP",
                 help="crash the given worker entering the given superstep "
-                "(repeatable); the run recovers from the latest checkpoint",
+                "(repeatable); the run recovers from the latest checkpoint.  "
+                "Plain W@S simulates the crash on any backend; kill:W@S "
+                "SIGKILLs the real worker process and hang:W@S wedges it "
+                "past the exchange deadline (both --backend mp only, "
+                "detected by the parent's deadline-based barrier)",
             )
             p.add_argument(
                 "--recovery",
@@ -564,6 +599,15 @@ def main(argv: list[str] | None = None) -> int:
                 "'interval=1,phi=4,deadline=5,crash=1@3,straggler=2,seed=5' "
                 "(crash=W@S schedules *silent* deaths the detector must "
                 "notice; implies fault tolerance)",
+            )
+            p.add_argument(
+                "--exchange-deadline",
+                type=float,
+                default=30.0,
+                metavar="SECONDS",
+                help="mp backend: how long the parent waits for a worker's "
+                "barrier reply before declaring it dead/hung and escalating "
+                "into recovery (default 30)",
             )
             p.add_argument(
                 "--max-restarts",

@@ -38,19 +38,47 @@ order-reconstructing merges at the parent barrier:
 * **tracing** buffers per-process counters (computed, seconds, staged
   bytes) in each worker's barrier reply; the parent merges them by
   worker id into the same deterministic superstep records the simulator
-  emits, so ``deterministic_jsonl`` projects identically across backends.
+  emits, so ``deterministic_jsonl`` projects identically across backends;
+* **vote-to-halt** keeps one authoritative vote bitset in the parent:
+  each forked worker inherits it copy-on-write, skips its voted vertices,
+  clears votes for every vertex it delivers to, and ships its partition's
+  slice back in the exchange reply; the parent folds the slices and
+  applies the simulator's dense halt rule (no deliveries + all voted) at
+  the master boundary;
+* **supervision and memory budgets** run against *real* processes: every
+  barrier reply is a liveness ping feeding the phi-accrual
+  :class:`~repro.pregel.supervisor.Supervisor` on wall time, and each
+  reply reports the worker's byte accounting, charged parent-side against
+  the :class:`~repro.pregel.mem.MemPlan` (over-budget degrades to
+  ``halt_reason="out_of_memory"`` with the structured report, exactly the
+  simulator's contract).
 
-The backend still refuses — with :class:`BackendUnsupported` — features
-whose semantics it cannot reproduce across process boundaries:
-vote-to-halt, the simulated transport, supervision, memory budgets,
-makespan tracking, and non-hash partitioning.
+Failure handling is real, not simulated: the parent's barrier is a
+**deadline-based exchange** — every reply is awaited with
+``conn.poll`` ticks against a monotonic deadline while watching the
+process sentinel, so a SIGKILL'd worker is detected in milliseconds (EOF
+/ dead sentinel) and a hung worker within ``exchange_deadline`` seconds,
+never a deadlock.  Detections escalate through
+:meth:`~repro.pregel.ft.FaultTolerance.recover_worker` — checkpoint
+restore, confined replay in the parent, re-fork of the dead process —
+with capped restarts degrading to ``halt_reason="unrecoverable"``.
+``--inject-fault kill:W@S`` (real SIGKILL) and ``hang:W@S`` (sleep past
+the deadline) exercise the path; shared-memory segments are tracked
+module-wide and unlinked on every exit path (``finally`` + ``atexit``).
+
+The backend still refuses — with :class:`BackendUnsupported` — the
+simulated transport (real pipes carry the slabs; channel-fault modeling
+would have nothing real to model) and non-hash partitioning.
 :func:`composition_refusals` exposes the refusal list so the CLI can
 validate a composition *before* loading a graph, with identical messages.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
 import random
+import signal
 import time
 import traceback
 from array import array
@@ -58,14 +86,66 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..ft import RealFault
 from ..globalmap import GlobalObjectMap
 from ..graph import Graph
-from ..runtime import PregelEngine, RunMetrics
+from ..mem import MemoryExhausted
+from ..runtime import VOTING_DISABLED_ERROR, PregelEngine, RunMetrics
 from .base import BackendUnsupported, ExecutionBackend
 from .codec import MessageCodec
 from .columnar import build_typed_columns
 
 _EMPTY: tuple = ()
+
+#: granularity of the deadline-based receive loop: how often the parent
+#: re-checks the worker's sentinel while waiting for a barrier reply.
+_POLL_TICK = 0.05
+
+#: every live shared-memory segment created by any MPEngine in this
+#: process, by name — the atexit backstop unlinks whatever an aborted or
+#: interrupted run left behind (``/dev/shm`` files outlive the process).
+_LIVE_SEGMENTS: dict[str, Any] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _track_segment(seg) -> None:
+    global _CLEANUP_REGISTERED
+    _LIVE_SEGMENTS[seg.name] = seg
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_cleanup_segments)
+        _CLEANUP_REGISTERED = True
+
+
+def _release_segment(seg) -> None:
+    _LIVE_SEGMENTS.pop(seg.name, None)
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _cleanup_segments() -> None:
+    for seg in list(_LIVE_SEGMENTS.values()):
+        _release_segment(seg)
+
+
+class _WorkerDead(Exception):
+    """A worker failed its exchange deadline: the process died (EOF, dead
+    sentinel) or went silent past the deadline.  Internal — the engine
+    either escalates into recovery or surfaces a RuntimeError."""
+
+    def __init__(self, wid: int, cause: str):
+        super().__init__(wid, cause)
+        self.wid = wid
+        self.cause = cause  # "died" | "timeout"
+
+    def describe(self) -> str:
+        return (
+            "missed the exchange deadline"
+            if self.cause == "timeout"
+            else "died unexpectedly"
+        )
 
 #: absolute ceiling on one worker's auto-sized shared-memory segment; a
 #: superstep whose slabs outgrow it spills through the inline-pipe
@@ -133,10 +213,12 @@ def composition_refusals(
     :class:`MPEngine` construction and the CLI's pre-load validation, so
     a refused flag combination fails with the identical message whether
     it is caught in milliseconds (CLI, before the graph loads) or at
-    engine construction.  ``combiners``, ``ft``, and ``tracer`` are
+    engine construction.  ``combiners``, ``ft``, ``tracer``,
+    ``use_voting``, ``supervisor``, ``mem``, and ``track_makespan`` are
     accepted for signature stability: those compositions are supported.
     """
-    del combiners, ft, tracer  # lifted compositions — no longer refused
+    # lifted compositions — no longer refused
+    del combiners, ft, tracer, use_voting, supervisor, mem, track_makespan
     refusals = []
 
     def refuse(feature: str, hint: str) -> None:
@@ -145,16 +227,8 @@ def composition_refusals(
             "(run with --backend sim or columnar)"
         )
 
-    if use_voting:
-        refuse("vote_to_halt", "generated programs are master-driven")
     if transport is not None:
         refuse("the simulated transport", "real pipes carry the slabs")
-    if supervisor is not None:
-        refuse("supervision", "worker processes have no heartbeat probe")
-    if mem is not None:
-        refuse("memory budgets", "per-process accounting is not wired up")
-    if track_makespan:
-        refuse("track_makespan", "wall time of real workers replaces it")
     if partitioning != "hash":
         refuse(f"'{partitioning}' partitioning", "workers own hash partitions")
     return refusals
@@ -204,6 +278,9 @@ class MPEngine:
         mem=None,
         metrics_registry=None,
         mp_slab_bytes: int | None = None,
+        real_faults=(),
+        exchange_deadline: float = 30.0,
+        max_restarts: int = 3,
     ):
         refusals = composition_refusals(
             use_voting=use_voting,
@@ -231,6 +308,23 @@ class MPEngine:
                 "the mp backend needs fork start-method and "
                 "multiprocessing.shared_memory, unavailable on this platform"
             )
+        if exchange_deadline <= 0:
+            raise ValueError("exchange_deadline must be > 0")
+        real_faults = tuple(real_faults or ())
+        for fault in real_faults:
+            if fault.kind not in ("kill", "hang"):
+                raise ValueError(f"unknown real fault kind '{fault.kind}'")
+            if not 0 <= fault.worker < max(1, num_workers):
+                raise ValueError(
+                    f"fault targets worker {fault.worker} but the engine "
+                    f"has {max(1, num_workers)} workers"
+                )
+        if real_faults and ft is None:
+            raise ValueError(
+                "real process faults (kill:/hang:) require fault tolerance: "
+                "pass ft=... / --checkpoint-every so recovery has a "
+                "checkpoint to restore"
+            )
         self.graph = graph
         self.schema = schema
         self.scheduling = scheduling
@@ -255,7 +349,6 @@ class MPEngine:
             v % w for v in range(graph.num_nodes)
         ]
         self._columns: dict[str, Any] = {}
-        self.mem = None
         self.tracer = tracer
         # Metrics registry: the parent owns the authoritative registry;
         # each worker process builds its own post-fork and ships snapshots
@@ -269,9 +362,26 @@ class MPEngine:
             else None
         )
         self.ft = ft
-        self._voted = None  # master-driven: no vote_to_halt (FT replay reads this)
+        self._use_voting = use_voting
+        # One authoritative vote bitset in the parent: forked workers
+        # inherit it copy-on-write, mutate their own partition's slice,
+        # and ship that slice back in every exchange reply for the parent
+        # to fold (the FT replay also reads/writes this directly).
+        self._voted = bytearray(graph.num_nodes) if use_voting else None
+        self._delivered = 0
+        self._track_makespan = track_makespan
         self._ft_replaying = False
         self._current_vertex = -1
+        # real-failure machinery: scheduled process faults, the exchange
+        # deadline, deferred detections, and the engine-level restart cap
+        # (the Supervisor owns its own cap when one is attached).
+        self._real_pending: list[RealFault] = list(real_faults)
+        self._exchange_deadline = float(exchange_deadline)
+        self._max_restarts = max_restarts
+        self._restarts_used = 0
+        self._hang_now: dict[int, float] = {}
+        self._dead_pending: list[tuple[int, str]] = []
+        self._abort_reason: str | None = None
         #: in-flight messages (sent last superstep, delivered to the live
         #: worker inboxes) as the parent's own decode — checkpoint payloads
         #: and confined-recovery logs read this through outbox_view().
@@ -286,10 +396,29 @@ class MPEngine:
         self._workers: list[_Worker] = []
         if ft is not None:
             ft.attach(self)
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.attach(self)  # requires ft — raises sim's message
+            # The supervisor's scheduled silent crashes become real
+            # SIGKILLs on this backend: same flag, real process death.
+            self._real_pending.extend(
+                RealFault("kill", crash.worker, crash.superstep)
+                for crash in supervisor.plan.silent_crashes
+            )
+        if self.ft is not None and (self._real_pending or supervisor is not None):
+            # A fault can fire at superstep 0, before any periodic
+            # checkpoint exists — force one so recovery always has a base.
+            self.ft.force_initial_checkpoint = True
+        self.mem = mem
+        if mem is not None:
+            mem.attach(self)
+        self._mem_prev_inbox = [0] * w
         if mp_slab_bytes is None:
             per_record = 8 + self.schema.max_message_size()
             traffic = (graph.num_edges * 2) // w + graph.num_nodes
-            mp_slab_bytes = clamp_slab_bytes(traffic * per_record)
+            mp_slab_bytes = clamp_slab_bytes(
+                traffic * per_record, mem.plan if mem is not None else None
+            )
         self._slab_bytes = mp_slab_bytes
 
     # -- master-side API (GeneratedMaster's ctx) ------------------------
@@ -339,6 +468,13 @@ class MPEngine:
         if not self._ft_replaying:
             raise RuntimeError("mp parent runs vertex code only during FT replay")
 
+    def vote_to_halt(self, vid: int) -> None:
+        # Votes are *state*, not traffic: unlike sends they are re-applied
+        # during replay so the recovered bitset matches the lost one.
+        if self._voted is None:
+            raise RuntimeError(VOTING_DISABLED_ERROR)
+        self._voted[vid] = 1
+
     def get_global(self, name: str):
         return self.globals.broadcast[name]
 
@@ -362,7 +498,7 @@ class MPEngine:
             "superstep": self.superstep,
             "outbox": dict(self._inflight),
             "frontier": None,
-            "voted": None,
+            "voted": bytes(self._voted) if self._voted is not None else None,
             "rng": self.rng.getstate(),
             "result": self.result,
             "halt": self._halt,
@@ -388,10 +524,20 @@ class MPEngine:
         columns before the replay resumes.
         """
         if vertices is not None:
+            if self._voted is not None and state["voted"] is not None:
+                saved = state["voted"]
+                for v in vertices:
+                    self._voted[v] = saved[v]
             self._refork_workers.add(self._worker_of[vertices[0]])
             return
         self.superstep = state["superstep"]
         self._inflight = dict(state["outbox"])
+        if self._voted is not None and state["voted"] is not None:
+            self._voted[:] = state["voted"]
+            # The halt check's delivery count rewinds with the timeline:
+            # the checkpoint's in-flight set is exactly what the restored
+            # superstep consumes.
+            self._delivered = sum(len(msgs) for msgs in self._inflight.values())
         self.rng.setstate(state["rng"])
         self.result = state["result"]
         self._halt = state["halt"]
@@ -440,7 +586,7 @@ class MPEngine:
                     "num_workers": self.num_workers,
                     "num_nodes": self.graph.num_nodes,
                     "num_edges": self.graph.num_edges,
-                    "use_voting": False,
+                    "use_voting": self._use_voting,
                     "partitioning": self.partitioning,
                 },
                 info={
@@ -452,20 +598,41 @@ class MPEngine:
         self._mpctx = ctx = multiprocessing.get_context("fork")
         w = self.num_workers
         halt_reason = "max_supersteps"
+        oom = None
         try:
             for _ in range(w):
-                self._segments.append(
-                    shared_memory.SharedMemory(create=True, size=self._slab_bytes)
-                )
+                seg = shared_memory.SharedMemory(create=True, size=self._slab_bytes)
+                self._segments.append(seg)
+                _track_segment(seg)
             self._workers = [
                 _Worker(wid, self, self._segments) for wid in range(w)
             ]
             for wid in range(w):
                 self._spawn_worker(wid, fresh=True)
-            halt_reason = self._coordinate()
-            self._gather_columns()
+            if self.supervisor is not None:
+                self.supervisor.start_liveness(time.monotonic())
+            try:
+                halt_reason = self._coordinate()
+            except MemoryExhausted as exc:
+                # Same degradation contract as the simulator: the run ends
+                # with a structured report, not an exception.
+                oom = exc
+                halt_reason = "out_of_memory"
+                self._current_vertex = -1
+            try:
+                self._gather_columns()
+            except (_WorkerDead, OSError, RuntimeError):
+                # An unrecoverable abort can leave dead workers behind;
+                # collect what the live ones return and keep the parent's
+                # (restored) columns for the rest.
+                pass
             for proc in self._procs:
                 proc.join(timeout=30)
+        except _WorkerDead as exc:
+            raise RuntimeError(
+                f"mp worker {exc.wid} {exc.describe()} at superstep "
+                f"{self.superstep} (no recovery path here)"
+            ) from None
         finally:
             for proc in self._procs:
                 if proc.is_alive():
@@ -473,11 +640,16 @@ class MPEngine:
             for conn in self._conns:
                 conn.close()
             for seg in self._segments:
-                seg.close()
-                try:
-                    seg.unlink()
-                except FileNotFoundError:
-                    pass
+                _release_segment(seg)
+            if self.mem is not None:
+                # Mirrors the simulator's teardown: record the OOM (if any)
+                # into the report, then release spill/checkpoint scratch —
+                # this path runs on *every* exit, worker death included.
+                if oom is not None:
+                    self.mem.record_oom(oom)
+                self.mem.close()
+        if oom is not None and self.supervisor is not None:
+            self.supervisor.on_oom(oom)
         m = self.metrics
         m.supersteps = self.superstep
         m.wall_seconds = time.perf_counter() - start
@@ -514,6 +686,22 @@ class MPEngine:
         columns, and its inbox is re-seeded with its partition's slice of
         the in-flight messages (the healthy workers still hold theirs)."""
         ctx = self._mpctx
+        part = None
+        if not fresh:
+            worker_of = self._worker_of
+            part = {
+                dst: list(msgs)
+                for dst, msgs in self._inflight.items()
+                if worker_of[dst] == wid
+            }
+            if self._voted is not None:
+                # The seeded in-flight messages *are* this partition's next
+                # delivery; a normal exchange clears the receivers' votes
+                # worker-side, so re-apply those clears before the fork —
+                # the child inherits the cleared bitset copy-on-write.
+                voted = self._voted
+                for dst in part:
+                    voted[dst] = 0
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=self._workers[wid].main, args=(child_conn,), daemon=True
@@ -526,12 +714,6 @@ class MPEngine:
         else:
             self._conns[wid] = parent_conn
             self._procs[wid] = proc
-            worker_of = self._worker_of
-            part = {
-                dst: list(msgs)
-                for dst, msgs in self._inflight.items()
-                if worker_of[dst] == wid
-            }
             parent_conn.send(("seed", part))
 
     def _refork(self) -> None:
@@ -547,15 +729,130 @@ class MPEngine:
             self._conns[wid].close()
             self._spawn_worker(wid, fresh=False)
         for wid in wids:
-            self._recv(self._conns[wid])  # ("ready",) after the seed
+            try:
+                self._recv(wid)  # ("ready",) after the seed
+            except _WorkerDead as exc:
+                raise RuntimeError(
+                    f"mp worker {wid} {exc.describe()} during recovery re-fork"
+                ) from None
         self._refork_all = False
         self._refork_workers.clear()
 
-    def _recv(self, conn):
+    def _inject_real_faults(self) -> None:
+        """Fire scheduled real process faults for the current superstep:
+        ``kill`` SIGKILLs the worker's OS process now, ``hang`` arms a
+        sleep past the exchange deadline in this superstep's step command.
+        Fired faults are consumed — recovery re-executes superstep
+        numbers, and a fault is not re-injected into its own replay
+        (matching simulated CrashEvent semantics)."""
+        kills: list[int] = []
+        if self._real_pending:
+            due = [f for f in self._real_pending if f.superstep == self.superstep]
+            if due:
+                self._real_pending = [
+                    f for f in self._real_pending if f.superstep != self.superstep
+                ]
+                for fault in due:
+                    if fault.kind == "kill":
+                        kills.append(fault.worker)
+                    else:
+                        self._hang_now[fault.worker] = self._exchange_deadline * 4
+        if self.supervisor is not None:
+            # A supervised crash_rate draws real kills per superstep, the
+            # plan's seeded RNG deciding — same knob, real process death.
+            kills.extend(self.supervisor.draw_real_crashes())
+        for wid in dict.fromkeys(kills):
+            proc = self._procs[wid]
+            if proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=10)
+
+    def _escalate(self, failures: list[tuple[int, str]]) -> bool:
+        """Escalate detected worker failures into checkpoint recovery.
+
+        Returns False when the run must abort (restart budget exhausted,
+        or no checkpoint to restore) — the caller degrades to
+        ``halt_reason="unrecoverable"``; this never raises for a
+        recoverable-contract failure and never hangs."""
+        now = time.monotonic()
+        if self._mreg is not None:
+            for _wid, cause in failures:
+                self._mreg.counter("mp.exchange_deadline_misses", cause=cause).inc()
+        if self.ft is None:
+            wid, cause = failures[0]
+            raise RuntimeError(
+                f"mp worker {wid} "
+                f"{'missed the exchange deadline' if cause == 'timeout' else 'died unexpectedly'} "
+                f"at superstep {self.superstep} with no fault tolerance "
+                "attached (pass ft=... / --checkpoint-every to recover)"
+            )
+        supervisor = self.supervisor
+        for wid, cause in failures:
+            try:
+                if supervisor is not None:
+                    if not supervisor.on_worker_failure(wid, now, cause):
+                        self._abort_reason = "unrecoverable"
+                        return False
+                else:
+                    if self._restarts_used >= self._max_restarts:
+                        self._abort_reason = "unrecoverable"
+                        return False
+                    self._restarts_used += 1
+                    self.metrics.restarts += 1
+                    if self._mreg is not None:
+                        self._mreg.counter(
+                            "supervisor.restarts", backend="mp"
+                        ).inc()
+                    self.ft.recover_worker(wid)
+            except RuntimeError as exc:
+                if "no checkpoint" not in str(exc):
+                    raise
+                self._abort_reason = "unrecoverable"
+                return False
+        return True
+
+    def _send(self, wid: int, payload) -> None:
+        """Send a command, tolerating an already-dead worker: the failure
+        is detected (and escalated) at the next deadline receive."""
         try:
-            reply = conn.recv()
-        except EOFError:
-            raise RuntimeError("mp worker process died unexpectedly") from None
+            self._conns[wid].send(payload)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _recv(self, wid: int, deadline: float | None = None):
+        """Deadline-based exchange receive from worker ``wid``.
+
+        Polls the pipe in short ticks against a monotonic deadline while
+        watching the process sentinel, so the parent barrier never blocks
+        on a dead or hung worker: EOF / a dead process raises
+        :class:`_WorkerDead(cause="died")` within a tick, silence past the
+        deadline raises ``cause="timeout"``.  A worker that trapped its
+        own exception still surfaces it as a RuntimeError.
+        """
+        conn = self._conns[wid]
+        limit = time.monotonic() + (
+            self._exchange_deadline if deadline is None else deadline
+        )
+        while True:
+            remaining = limit - time.monotonic()
+            try:
+                if conn.poll(min(_POLL_TICK, max(0.0, remaining))):
+                    reply = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise _WorkerDead(wid, "died") from None
+            if not self._procs[wid].is_alive():
+                # Died between replies: drain anything it flushed before
+                # the pipe went down, then report the death.
+                try:
+                    if conn.poll(0):
+                        reply = conn.recv()
+                        break
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerDead(wid, "died")
+            if remaining <= 0:
+                raise _WorkerDead(wid, "timeout")
         if reply[0] == "error":
             raise RuntimeError(f"mp worker failed:\n{reply[1]}")
         return reply
@@ -581,16 +878,35 @@ class MPEngine:
         worker_of = self._worker_of
         sizes = self._codec.sizes
         w = self.num_workers
+        supervisor = self.supervisor
+        voted = self._voted
         while self.superstep < self._max_supersteps:
+            # Failures detected at the previous exchange barrier escalate
+            # first: checkpoint recovery runs parent-side and flags the
+            # affected workers for re-fork.
+            if self._dead_pending:
+                dead, self._dead_pending = self._dead_pending, []
+                if not self._escalate(dead):
+                    return "unrecoverable"
+            # Re-fork *before* the FT boundary: a due checkpoint
+            # round-trips every worker pipe, so flagged workers must be
+            # live again by then.
+            if self._refork_all or self._refork_workers:
+                self._refork()
             # Fault-tolerance boundary: checkpoint if due (pulling fresh
             # columns from the workers), then inject any scheduled crash.
-            # Recovery restores/replays parent-side state and flags the
-            # affected workers, which are re-forked from it here — before
-            # the master runs, exactly the simulator's ordering.
+            # Simulated CrashEvent recovery restores/replays parent-side
+            # state and flags the affected workers, re-forked here —
+            # before the master runs, exactly the simulator's ordering.
             if ft is not None:
                 ft.on_superstep_start()
                 if self._refork_all or self._refork_workers:
                     self._refork()
+            # Real process faults fire *after* the boundary checkpoint, so
+            # a fault at superstep S always has a recovery base <= S.
+            self._inject_real_faults()
+            if self._abort_reason is not None:
+                return self._abort_reason
             if instr:
                 # Snapshot the ledger *after* any recovery so the superstep
                 # record meters exactly this superstep's deltas.
@@ -613,15 +929,60 @@ class MPEngine:
                 ft.on_master_done()
             if metered:
                 m_master_s.observe(time.perf_counter() - t_step0)
+            # Vote-to-halt termination, the simulator's dense rule at the
+            # same boundary: messages delivered at the last exchange wake
+            # their receivers (votes cleared worker-side before the slices
+            # fold), so "nothing delivered and everyone voted" halts.
+            if (
+                voted is not None
+                and self.superstep > 0
+                and self._delivered == 0
+                and 0 not in voted
+            ):
+                return "all_halted"
             bcast = dict(self.globals.broadcast)
-            for conn in self._conns:
-                conn.send(("step", bcast))
-            replies = [self._recv(conn) for conn in self._conns]
+            hang = self._hang_now
+            self._hang_now = {}
+            for wid in range(w):
+                self._send(wid, ("step", bcast, hang.get(wid, 0.0)))
+            # Vertex-phase barrier under a deadline.  A death here is
+            # recovered *within* the superstep when confinement allows it:
+            # the failed partition replays parent-side to this superstep's
+            # boundary, the worker re-forks from the restored columns, and
+            # the step command is re-issued — healthy workers never rewind
+            # and their replies stay valid.  A rollback instead abandons
+            # the superstep and restarts the loop from the restored one.
+            replies: list = [None] * w
+            pending = list(range(w))
+            rolled_back = False
+            while pending:
+                dead: list[tuple[int, str]] = []
+                for wid in pending:
+                    try:
+                        replies[wid] = self._recv(wid)
+                        if supervisor is not None:
+                            supervisor.observe_liveness(wid, time.monotonic())
+                    except _WorkerDead as exc:
+                        dead.append((wid, exc.cause))
+                if not dead:
+                    break
+                if not self._escalate(dead):
+                    return "unrecoverable"
+                if self._refork_all:
+                    rolled_back = True
+                    break
+                self._refork()
+                pending = [wid for wid, _cause in dead]
+                for wid in pending:
+                    self._send(wid, ("step", bcast, 0.0))
+            if rolled_back:
+                continue
             step_messages = 0
             step_net = 0
             all_puts: list = []
             all_slots: list = []
             worker_computed = []
+            worker_sent_step = []
             worker_seconds = []
             worker_bytes = []
             for wid, (_, _dir, _inline, counters, puts, slots) in enumerate(replies):
@@ -633,6 +994,7 @@ class MPEngine:
                 step_messages += counters["messages"]
                 step_net += counters["net_messages"]
                 worker_computed.append(counters["computed"])
+                worker_sent_step.append(counters["sent"])
                 worker_seconds.append(counters["seconds"])
                 worker_bytes.append(counters["staged"])
                 all_puts.extend(puts)
@@ -675,21 +1037,75 @@ class MPEngine:
                 put_reduce(name, op, value)
             directories = [r[1] for r in replies]
             inlines = [r[2] for r in replies]
+            if self._track_makespan:
+                # The simulator's work units: one per computed vertex, one
+                # per send (sender side), one per message for its receiving
+                # worker — combined messages count their folded deliveries.
+                step_work = [c + s for c, s in zip(worker_computed, worker_sent_step)]
+                for directory in directories:
+                    for dest, _tag, count, _offset, _plen in directory:
+                        step_work[dest] += count
+                for entries in inlines:
+                    for dest, _tag, count, _db, _sb, _payload in entries:
+                        step_work[dest] += count
+                for dest in range(w):
+                    step_work[dest] += len(combined_parts[dest])
+                m.makespan_units += max(step_work)
+                m.ideal_units += sum(step_work) / w
             if instr:
                 t_exchange = time.perf_counter()
-            for conn in self._conns:
-                conn.send(("exchange", directories, inlines, combined_parts))
+            for wid in range(w):
+                self._send(wid, ("exchange", directories, inlines, combined_parts))
             # The exchange barrier: each worker replies ("ready",
-            # route_seconds, registry_snapshot | None) — this is where the
-            # per-worker registries merge into the parent's.
-            worker_route_seconds = []
-            for conn in self._conns:
-                ready = self._recv(conn)
-                worker_route_seconds.append(ready[1] if len(ready) > 1 else 0.0)
+            # route_seconds, registry_snapshot | None, received_bytes,
+            # vote_slice | None) — this is where the per-worker registries
+            # merge into the parent's and the vote bitset folds.  A death
+            # here is *deferred*: the dead worker's slabs already sit in
+            # parent-owned segments (written before its stat reply), so the
+            # superstep's bookkeeping completes and the escalation runs at
+            # the top of the next loop, where recovery replays cover the
+            # missing reply's effects.
+            worker_route_seconds = [0.0] * w
+            delivered_bytes = [0] * w
+            for wid in range(w):
+                try:
+                    ready = self._recv(wid)
+                except _WorkerDead as exc:
+                    self._dead_pending.append((wid, exc.cause))
+                    continue
+                if supervisor is not None:
+                    supervisor.observe_liveness(wid, time.monotonic())
+                worker_route_seconds[wid] = ready[1] if len(ready) > 1 else 0.0
                 if metered and len(ready) > 2 and ready[2]:
                     mreg.merge_snapshot(ready[2])
+                if len(ready) > 3:
+                    delivered_bytes[wid] = ready[3]
+                if voted is not None and len(ready) > 4 and ready[4] is not None:
+                    voted[wid::w] = ready[4]
             if metered:
                 m_exchange_s.observe(time.perf_counter() - t_exchange)
+            if voted is not None:
+                # Deliveries of this exchange (consumed next superstep) —
+                # the termination check's "inbox empty" side.
+                delivered = 0
+                for directory in directories:
+                    for _dest, _tag, count, _offset, _plen in directory:
+                        delivered += count
+                for entries in inlines:
+                    for _dest, _tag, count, _db, _sb, _payload in entries:
+                        delivered += count
+                delivered += sum(len(part) for part in combined_parts)
+                self._delivered = delivered
+            if self.mem is not None:
+                # Parent-enforced MemPlan: charge each worker's reported
+                # resident bytes — last exchange's inbox (consumed this
+                # superstep) plus this exchange's deliveries.  Crossing the
+                # hard budget raises MemoryExhausted, degraded by run() to
+                # halt_reason="out_of_memory" with the structured report.
+                self.mem.charge_exchange(
+                    self._mem_prev_inbox, delivered_bytes, self.superstep
+                )
+                self._mem_prev_inbox = delivered_bytes
             if ft is not None:
                 # Decode this superstep's outbox from the slabs while the
                 # segments still hold them: checkpoint payloads and the
@@ -720,7 +1136,7 @@ class MPEngine:
                     det={
                         "step": self.superstep - 1,
                         "active": sum(worker_computed),
-                        "halted": 0,
+                        "halted": int(sum(voted)) if voted is not None else 0,
                         "messages": m.messages - s_messages,
                         "message_bytes": m.message_bytes - s_message_bytes,
                         "net_messages": m.net_messages - s_net_messages,
@@ -813,21 +1229,30 @@ class MPEngine:
         """Pull every worker's live partition back into the parent columns."""
         if not self._conns:
             return  # workers not forked yet: the columns hold initial state
-        for conn in self._conns:
-            conn.send(("snapshot",))
+        for wid in range(self.num_workers):
+            self._send(wid, ("snapshot",))
         self._scatter_columns()
 
     def _gather_columns(self) -> None:
-        """Final column pull at end of run (workers exit afterwards)."""
-        for conn in self._conns:
-            conn.send(("finish",))
-        self._scatter_columns()
+        """Final column pull at end of run (workers exit afterwards).
 
-    def _scatter_columns(self) -> None:
+        Tolerates dead workers: after an unrecoverable abort the parent's
+        columns already hold the best known (restored) state for the dead
+        partitions, so only the live workers' slices are pulled."""
+        for wid in range(self.num_workers):
+            self._send(wid, ("finish",))
+        self._scatter_columns(tolerate_dead=True)
+
+    def _scatter_columns(self, *, tolerate_dead: bool = False) -> None:
         n = self.graph.num_nodes
         w = self.num_workers
-        for wid, conn in enumerate(self._conns):
-            reply = self._recv(conn)
+        for wid in range(w):
+            try:
+                reply = self._recv(wid)
+            except _WorkerDead:
+                if tolerate_dead:
+                    continue
+                raise
             for name, values in reply[1].items():
                 column = self._columns[name]
                 if isinstance(column, array):
@@ -949,6 +1374,14 @@ class _Worker:
     def put_global(self, name: str, op, value) -> None:
         self._puts.append((name, op, self._current_vertex, value))
 
+    def vote_to_halt(self, vid: int) -> None:
+        # The fork-inherited bitset is private to this process: the vote
+        # reaches the parent as this partition's slice in the next
+        # exchange reply, where the authoritative copy folds it in.
+        if self._voted is None:
+            raise RuntimeError(VOTING_DISABLED_ERROR)
+        self._voted[vid] = 1
+
     def get_global(self, name: str):
         return self.engine.globals.broadcast[name]
 
@@ -997,6 +1430,17 @@ class _Worker:
         self._counters = self._fresh_counters()
         self._inbox: dict[int, list] = {}
         self._combined: dict = {}
+        # Voting: fork-inherited copy of the parent's bitset (or None).
+        self._voted = engine._voted
+        # Memory budgets: per-delivery receive accounting (payload +
+        # envelope, the MemPlan's charge model), reported in the exchange
+        # reply and charged parent-side.
+        self._mem_overhead = (
+            engine.mem.plan.message_overhead_bytes
+            if engine.mem is not None
+            else None
+        )
+        self._recv_bytes = 0
         self._stage = [
             {tag: _TagStage() for tag in self._tag_ids} for _ in range(self._w)
         ]
@@ -1047,15 +1491,31 @@ class _Worker:
                 if kind == "step":
                     broadcast.clear()
                     broadcast.update(cmd[1])
+                    if len(cmd) > 2 and cmd[2]:
+                        # Injected hang: sleep past the parent's exchange
+                        # deadline — it detects the miss and recovers (we
+                        # get terminated mid-nap by the re-fork).
+                        time.sleep(cmd[2])
                     inbox = self._inbox
                     self._inbox = {}
                     t0 = time.perf_counter()
-                    for vid in self._own_vids:
-                        self._current_vertex = vid
-                        compute(self, vid, inbox.get(vid, empty))
+                    voted = self._voted
+                    if voted is None:
+                        for vid in self._own_vids:
+                            self._current_vertex = vid
+                            compute(self, vid, inbox.get(vid, empty))
+                        computed = len(self._own_vids)
+                    else:
+                        computed = 0
+                        for vid in self._own_vids:
+                            if voted[vid]:
+                                continue
+                            self._current_vertex = vid
+                            compute(self, vid, inbox.get(vid, empty))
+                            computed += 1
                     self._current_vertex = -1
                     c = self._counters
-                    c["computed"] = len(self._own_vids)
+                    c["computed"] = computed
                     c["seconds"] = time.perf_counter() - t0
                     if self._mreg is not None:
                         wid = str(self.wid)
@@ -1078,14 +1538,30 @@ class _Worker:
                     self._puts = []
                 elif kind == "exchange":
                     t0 = time.perf_counter()
+                    self._recv_bytes = 0
                     self._read_slabs(cmd[1], cmd[2])
                     inbox = self._inbox
+                    ovh = self._mem_overhead
+                    sizes = self._sizes
                     for dst, msg in cmd[3][self.wid]:
+                        if ovh is not None:
+                            self._recv_bytes += sizes[msg[0]] + ovh
                         bucket = inbox.get(dst)
                         if bucket is None:
                             inbox[dst] = [msg]
                         else:
                             bucket.append(msg)
+                    votes = None
+                    voted = self._voted
+                    if voted is not None:
+                        # Ship this partition's slice *before* the delivery
+                        # clears: the parent's fold then matches the
+                        # simulator's end-of-phase bitset (checkpoints and
+                        # traces included).  The local copy clears now —
+                        # delivered messages wake their receivers next step.
+                        votes = bytes(voted[self.wid :: self._w])
+                        for dst in inbox:
+                            voted[dst] = 0
                     route_s = time.perf_counter() - t0
                     snap = None
                     if self._mreg is not None:
@@ -1093,7 +1569,7 @@ class _Worker:
                             "mp.worker_route_seconds", worker=str(self.wid)
                         ).observe(route_s)
                         snap = self._mreg.snapshot(reset=True)
-                    conn.send(("ready", route_s, snap))
+                    conn.send(("ready", route_s, snap, self._recv_bytes, votes))
                 elif kind == "snapshot":
                     conn.send(("columns", self._gather()))
                 elif kind == "seed":
@@ -1156,12 +1632,16 @@ class _Worker:
         here, merged per tag by sender id (stable) — the simulator's exact
         per-receiver order."""
         wid = self.wid
+        ovh = self._mem_overhead
+        sizes = self._sizes
         per_tag: dict[int, list] = {tag: [] for tag in self._tag_ids}
         for source, directory in enumerate(directories):
             seg_buf = self.segments[source].buf
             for dest, tag, count, offset, payload_len in directory:
                 if dest != wid:
                     continue
+                if ovh is not None:
+                    self._recv_bytes += count * (sizes[tag] + ovh)
                 mid = offset + 4 * count
                 pay = mid + 4 * count
                 dst = np.frombuffer(bytes(seg_buf[offset:mid]), dtype=np.int32)
@@ -1172,6 +1652,8 @@ class _Worker:
             for dest, tag, count, dst_bytes, sender_bytes, payload in entries:
                 if dest != wid:
                     continue
+                if ovh is not None:
+                    self._recv_bytes += count * (sizes[tag] + ovh)
                 per_tag[tag].append(
                     (
                         np.frombuffer(dst_bytes, dtype=np.int32),
@@ -1229,12 +1711,12 @@ class MPBackend(ExecutionBackend):
     supports = {
         "ft": True,
         "net": False,
-        "mem": False,
-        "supervisor": False,
+        "mem": True,
+        "supervisor": True,
         "tracer": True,
         "combiners": True,
-        "voting": False,
-        "track_makespan": False,
+        "voting": True,
+        "track_makespan": True,
         "range_partitioning": False,
     }
 

@@ -128,6 +128,44 @@ def parse_crash(spec: str) -> CrashEvent:
 
 
 @dataclass(frozen=True)
+class RealFault:
+    """A real process-level fault for the mp backend: ``kill`` SIGKILLs
+    worker ``worker``'s OS process at superstep ``superstep``; ``hang``
+    makes it sleep past the parent's exchange deadline.  Unlike a
+    :class:`CrashEvent` the failure is *not announced* — the parent must
+    detect it through its deadline-based barrier and escalate into the
+    same checkpoint recovery.  Each fault fires at most once."""
+
+    kind: str  # "kill" | "hang"
+    worker: int
+    superstep: int
+
+
+def parse_fault(spec: str) -> CrashEvent | RealFault:
+    """Parse one ``--inject-fault`` spec.
+
+    ``W@S`` is a simulated :class:`CrashEvent` (any backend);
+    ``kill:W@S`` / ``hang:W@S`` are :class:`RealFault` process faults
+    (mp backend only — SIGKILL / sleep-past-deadline)."""
+    if ":" in spec:
+        kind, _, rest = spec.partition(":")
+        if kind not in ("kill", "hang"):
+            raise ValueError(
+                f"invalid fault spec '{spec}': unknown kind '{kind}' "
+                "(expected WORKER@STEP, kill:WORKER@STEP or hang:WORKER@STEP)"
+            )
+        try:
+            crash = parse_crash(rest)
+        except ValueError:
+            raise ValueError(
+                f"invalid fault spec '{spec}': expected {kind}:WORKER@STEP, "
+                f"e.g. {kind}:1@5"
+            ) from None
+        return RealFault(kind, crash.worker, crash.superstep)
+    return parse_crash(spec)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything about a run's failure model, fixed up front (deterministic).
 

@@ -915,6 +915,33 @@ class MemoryManager:
         if total > budget.peak_bytes:
             budget.peak_bytes = total
 
+    def charge_exchange(
+        self,
+        inbox_bytes: list[int],
+        delivered_bytes: list[int],
+        superstep: int,
+    ) -> None:
+        """Parent-side ledger for the mp backend's exchange barrier.
+
+        Each worker process reports its byte accounting in the barrier
+        reply; the parent charges both the inbox it computed over this
+        superstep (delivered at the *previous* barrier) and the batch it
+        just installed — the same two buffers the simulator's ledger holds
+        resident at its barrier.  The mp backend has no cooperative spill
+        path (buffers live in worker processes), so the watermark never
+        fires: crossing the hard budget raises :class:`MemoryExhausted`,
+        which the engine degrades to ``halt_reason="out_of_memory"``."""
+        for budget in self.budgets:
+            w = budget.worker
+            budget.inbox_bytes = inbox_bytes[w]
+            budget.outbox_bytes = delivered_bytes[w]
+            budget.note_peak()
+            total = budget.total()
+            if budget.limited and total > budget.budget_bytes:
+                raise MemoryExhausted(
+                    w, "exchange", total, budget.budget_bytes, superstep
+                )
+
     # -- checkpoint streaming ---------------------------------------------
 
     def write_checkpoint(self, payload: dict) -> _CheckpointBlob:

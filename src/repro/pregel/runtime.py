@@ -67,6 +67,14 @@ from .mem import MemoryExhausted
 
 _NO_MESSAGES: tuple = ()
 
+#: Shared by every backend's vertex ctx (the mp worker raises it from a
+#: forked process), so a mis-composed program fails identically everywhere.
+VOTING_DISABLED_ERROR = (
+    "vote_to_halt() called on an engine constructed with "
+    "use_voting=False: pass use_voting=True to PregelEngine, or "
+    "drive termination from the master via halt()"
+)
+
 
 class VertexCompute(Protocol):
     def __call__(self, ctx: "PregelEngine", vid: int, messages: list) -> None: ...
@@ -570,11 +578,7 @@ class PregelEngine:
         if self._voted is None:
             # Silently ignoring the vote would mask non-termination as
             # halt_reason="max_supersteps"; fail loudly instead.
-            raise RuntimeError(
-                "vote_to_halt() called on an engine constructed with "
-                "use_voting=False: pass use_voting=True to PregelEngine, or "
-                "drive termination from the master via halt()"
-            )
+            raise RuntimeError(VOTING_DISABLED_ERROR)
         self._voted[vid] = 1
 
     # ------------------------------------------------------------------

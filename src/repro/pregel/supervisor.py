@@ -223,6 +223,7 @@ class Supervisor:
         self._rng = random.Random(plan.seed)
         self._started = False
         self._clock = 0.0
+        self._real_epoch = 0.0  # wall-clock origin of real-liveness mode
         self._pending_crashes = sorted(plan.silent_crashes, key=lambda c: c.superstep)
         self._host_of: list[int] = []      # partition -> hosting worker
         self._last_heartbeat: list[float] = []
@@ -411,6 +412,116 @@ class Supervisor:
                         self._quarantine(w, tracer)
                 else:
                     self._strikes[w] = 0
+
+    # -- real-process liveness (mp backend) -------------------------------
+    #
+    # The simulated hook above models the cluster clock; the mp backend
+    # has real worker processes, so the same detector runs on wall time:
+    # every barrier reply is a liveness ping, and a reply that never
+    # arrives (the parent's deadline-based exchange) is a detection.
+
+    def start_liveness(self, now: float) -> None:
+        """Arm the detector against real wall-clock heartbeats (mp): the
+        workers were just forked, so every partition hosts on its own
+        worker and every detector starts from the nominal interval."""
+        engine = self._engine
+        workers = engine.num_workers
+        self._started = True
+        self._real_epoch = now
+        self._host_of = list(range(workers))
+        self._last_heartbeat = [now] * workers
+        self._detectors = [
+            PhiAccrualDetector(self.plan.heartbeat_interval)
+            for _ in range(workers)
+        ]
+        self._strikes = [0] * workers
+
+    def observe_liveness(self, worker: int, now: float) -> None:
+        """One real heartbeat: worker ``worker``'s barrier reply arrived."""
+        gap = now - self._last_heartbeat[worker]
+        if gap > 0:
+            self._detectors[worker].observe(gap)
+        self._last_heartbeat[worker] = now
+        self._clock = now - self._real_epoch
+
+    def draw_real_crashes(self) -> list[int]:
+        """Seeded random silent deaths for one real superstep (mp): the
+        ``crash_rate`` knob draws per live worker, exactly like the
+        simulated model — but the death is a real SIGKILL."""
+        plan = self.plan
+        if not plan.crash_rate:
+            return []
+        return [
+            w
+            for w in range(self._engine.num_workers)
+            if self._rng.random() < plan.crash_rate
+        ]
+
+    def on_worker_failure(self, worker: int, now: float, cause: str) -> bool:
+        """A real worker process failed its exchange deadline (died or
+        hung).  Escalate exactly like a simulated detection: meter the
+        silence, recover through the FT manager — or, past the restart
+        budget, degrade the run (returns False; the engine aborts with
+        ``halt_reason="unrecoverable"``)."""
+        engine = self._engine
+        plan = self.plan
+        self._clock = now - self._real_epoch
+        detector = self._detectors[worker]
+        silence = now - self._last_heartbeat[worker]
+        missed = int(silence // plan.heartbeat_interval)
+        engine.metrics.heartbeats_missed += missed
+        if self._mreg is not None:
+            self._mreg.counter("supervisor.detections").inc()
+            self._mreg.counter("supervisor.heartbeats_missed").inc(missed)
+        detection = {
+            "worker": worker,
+            "superstep": engine.superstep,
+            "clock": self._clock,
+            "silence": silence,
+            "phi": detector.phi(silence),
+            "heartbeats_missed": missed,
+            "cause": cause,
+        }
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event("supervisor.suspect", cat="supervisor", info=dict(detection))
+        if self.restarts_used >= plan.max_restarts:
+            self.degraded = True
+            detection["action"] = "degraded"
+            self._detections.append(detection)
+            engine._abort_reason = "unrecoverable"
+            if tracer is not None:
+                tracer.event(
+                    "supervisor.degraded",
+                    cat="supervisor",
+                    info={
+                        "worker": worker,
+                        "restarts_used": self.restarts_used,
+                        "max_restarts": plan.max_restarts,
+                        "superstep": engine.superstep,
+                    },
+                )
+            return False
+        self.restarts_used += 1
+        engine.metrics.restarts += 1
+        if self._mreg is not None:
+            self._mreg.counter("supervisor.restarts", backend="mp").inc()
+        detection["action"] = "restarted"
+        self._detections.append(detection)
+        engine.ft.recover_worker(worker, partitions=self._hosted(worker))
+        self._last_heartbeat[worker] = now
+        self._strikes[worker] = 0
+        if tracer is not None:
+            tracer.event(
+                "supervisor.restart",
+                cat="supervisor",
+                info={
+                    "worker": worker,
+                    "restarts_used": self.restarts_used,
+                    "recovery": engine.ft.plan.recovery,
+                },
+            )
+        return True
 
     def on_oom(self, exc) -> None:
         """Memory exhaustion escalates like a silent crash: the worker that

@@ -8,6 +8,8 @@ may only differ in wall time, memory, and the ``metrics.backend`` label.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.harness import default_args
@@ -16,7 +18,7 @@ from repro.graphgen.registry import load_graph
 from repro.pregel.backend import BACKENDS, BackendUnsupported, get_backend
 from repro.pregel.backend.codec import MessageCodec
 from repro.pregel.backend.mp import mp_available
-from repro.pregel.ft import CrashEvent, FaultPlan, FaultTolerance
+from repro.pregel.ft import CrashEvent, FaultPlan, FaultTolerance, RealFault
 from repro.pregelir.ir import INF_VALUE
 
 ALGORITHMS = (
@@ -148,14 +150,10 @@ class TestMultiprocessingBackend:
     @pytest.mark.parametrize(
         "opts",
         (
-            {"track_makespan": True},
             {"partitioning": "range"},
-            {"use_voting": True},
             {"transport": "SENTINEL"},
-            {"supervisor": "SENTINEL"},
-            {"mem": "SENTINEL"},
         ),
-        ids=("makespan", "range", "voting", "net", "supervisor", "mem"),
+        ids=("range", "net"),
     )
     def test_unsupported_compositions_refuse_cleanly(self, programs, graph, opts):
         # The engine refuses at construction, before the feature object is
@@ -269,10 +267,10 @@ class TestCLI:
 
         with pytest.raises(SystemExit) as exc:
             main(["run", self.gm("pagerank"), *self.ARGS,
-                  "--backend", "mp", "--heartbeat", "interval=1",
+                  "--backend", "mp", "--net-faults", "drop=0.05",
                   "--graph-file", "/nonexistent/never.el"])
         assert exc.value.code == 2
-        assert "does not support supervision" in capsys.readouterr().err
+        assert "does not support the simulated transport" in capsys.readouterr().err
 
     def test_mp_unavailable_is_usage_error(self, capsys, monkeypatch):
         import repro.pregel.backend.mp as mp_mod
@@ -334,6 +332,15 @@ class TestRefusalMatrix:
         assert supports["ft"] is True
         assert supports["combiners"] is True
         assert supports["tracer"] is True
+        assert supports["voting"] is True
+        assert supports["supervisor"] is True
+        assert supports["mem"] is True
+        assert supports["track_makespan"] is True
+
+    def test_only_transport_and_range_remain_refused(self):
+        supports = get_backend("mp").supports
+        refused = {name for name, ok in supports.items() if not ok}
+        assert refused == {"net", "range_partitioning"}
 
 
 @needs_mp
@@ -417,6 +424,225 @@ class TestLiftedCompositions:
             )
 
         assert_parity(run("sim"), run("mp"))
+
+
+@needs_mp
+class TestRealProcessFaults:
+    """SIGKILL / hang real worker processes mid-run: the deadline-based
+    exchange barrier must detect the failure, re-fork the worker from the
+    latest checkpoint, finish bit-identical to the failure-free run, and
+    leak nothing when recovery is impossible."""
+
+    def ft(self, recovery="rollback"):
+        return FaultTolerance(FaultPlan(checkpoint_every=2, recovery=recovery))
+
+    @pytest.mark.parametrize("recovery", ("rollback", "confined"))
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_sigkill_recovers_bit_identical(self, programs, graph, alg, recovery):
+        # The kill fires entering superstep 1 so even the shortest
+        # algorithm gets hit; detection is pipe-EOF, well inside the
+        # deadline.
+        sim = run_on(programs, graph, alg, "sim", num_workers=2)
+        mp = run_on(
+            programs, graph, alg, "mp", num_workers=2,
+            ft=self.ft(recovery),
+            real_faults=(RealFault("kill", 1, 1),),
+            exchange_deadline=10.0,
+        )
+        assert mp.metrics.restarts == 1
+        assert_parity(sim, mp)
+
+    @pytest.mark.parametrize("recovery", ("rollback", "confined"))
+    def test_hung_worker_never_deadlocks(self, programs, graph, recovery):
+        # The worker wedges in its vertex phase (sleeps far past the
+        # deadline); the parent must time the barrier out, declare it
+        # dead, and recover — a blind pipe read would hang forever here.
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=2)
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(recovery),
+            real_faults=(RealFault("hang", 0, 3),),
+            exchange_deadline=0.75,
+        )
+        assert mp.metrics.restarts == 1
+        assert_parity(sim, mp)
+
+    def test_exhausted_restarts_degrade_without_leaks(self, programs, graph, tmp_path):
+        from repro.pregel.backend.mp import _LIVE_SEGMENTS
+        from repro.pregel.mem import MemPlan, MemoryManager
+
+        mem = MemoryManager(MemPlan(budget_bytes=1 << 30, spill_dir=str(tmp_path)))
+        mem._spill_path("inbox", 0)  # force the private spill dir into existence
+        shm = "/dev/shm"
+        before = set(os.listdir(shm)) if os.path.isdir(shm) else set()
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(), mem=mem,
+            real_faults=(RealFault("kill", 1, 3),),
+            max_restarts=0,
+        )
+        # Graceful degradation: a structured partial result, not an
+        # exception and not a hang.
+        assert mp.metrics.halt_reason == "unrecoverable"
+        assert _LIVE_SEGMENTS == {}
+        if os.path.isdir(shm):
+            leaked = {n for n in os.listdir(shm) if n.startswith("psm_")} - before
+            assert leaked == set()
+        # The abort runs the same teardown path as a clean exit, so the
+        # run's private spill directory is gone too.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_real_faults_require_fault_tolerance(self, programs, graph):
+        with pytest.raises(ValueError, match="require fault tolerance"):
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                real_faults=(RealFault("kill", 1, 1),),
+            )
+
+    def test_exchange_deadline_must_be_positive(self, programs, graph):
+        with pytest.raises(ValueError, match="exchange_deadline"):
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                exchange_deadline=0.0,
+            )
+
+
+@needs_mp
+class TestSupervisedMP:
+    """Real liveness supervision: scripted silent deaths become actual
+    SIGKILLs that only the deadline barrier's liveness pings reveal."""
+
+    def test_silent_crash_detected_restarted_and_parity(self, programs, graph):
+        from repro.pregel.supervisor import Supervisor, SupervisorPlan
+
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=2)
+        supervisor = Supervisor(
+            SupervisorPlan(silent_crashes=(CrashEvent(1, 3),))
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=FaultTolerance(FaultPlan(checkpoint_every=2, recovery="confined")),
+            supervisor=supervisor,
+        )
+        assert_parity(sim, mp)
+        report = supervisor.report()
+        assert report["restarts_used"] == 1
+        (detection,) = report["detections"]
+        assert detection["worker"] == 1
+        assert detection["action"] == "restarted"
+        assert detection["cause"] == "died"
+
+    def test_restart_budget_exhaustion_degrades(self, programs, graph):
+        from repro.pregel.supervisor import Supervisor, SupervisorPlan
+
+        supervisor = Supervisor(
+            SupervisorPlan(silent_crashes=(CrashEvent(1, 3),), max_restarts=0)
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=FaultTolerance(FaultPlan(checkpoint_every=2)),
+            supervisor=supervisor,
+        )
+        assert mp.metrics.halt_reason == "unrecoverable"
+        assert supervisor.report()["degraded"]
+
+
+@needs_mp
+class TestVotingOnMP:
+    """vote_to_halt lifted: per-worker bitsets folded at the barrier are
+    bit-identical to the simulator's single authoritative bitset."""
+
+    @pytest.mark.parametrize("alg", ("pagerank", "sssp"))
+    def test_generated_programs_run_under_voting(self, programs, graph, alg):
+        # Generated programs never vote (§5.2) — the voting plumbing must
+        # be parity-invisible when enabled but unused.
+        sim = run_on(programs, graph, alg, "sim", use_voting=True)
+        mp = run_on(programs, graph, alg, "mp", use_voting=True)
+        assert_parity(sim, mp)
+
+    def test_custom_voting_program_halts_identically(self, programs, graph):
+        from repro.pregel.backend.mp import MPEngine
+        from repro.pregel.runtime import PregelEngine
+
+        # no-inbox vertices flood their neighbours then vote; awakened
+        # vertices just vote again — all_halted at superstep 2, driven
+        # entirely by the folded vote bitsets.
+        def vertex(ctx, vid, messages):
+            if not messages:
+                for nbr in graph.out_nbrs(vid):
+                    ctx.send(nbr, (0, float(vid)))
+            ctx.vote_to_halt(vid)
+
+        schema = programs["pagerank"].schema
+        sim = PregelEngine(
+            graph, vertex, num_workers=2, use_voting=True,
+            message_size=lambda m: 8,
+        ).run()
+        mp = MPEngine(
+            graph, schema=schema, vertex_compute=vertex,
+            num_workers=2, use_voting=True,
+        )
+        mp.run()
+        assert sim.halt_reason == mp.metrics.halt_reason == "all_halted"
+        assert sim.parity_key() == mp.metrics.parity_key()
+
+    def test_vote_without_voting_enabled_raises(self, programs, graph):
+        from repro.pregel.backend.mp import MPEngine
+
+        def vertex(ctx, vid, messages):
+            ctx.vote_to_halt(vid)
+
+        mp = MPEngine(
+            graph, schema=programs["pagerank"].schema,
+            vertex_compute=vertex, num_workers=2,
+        )
+        with pytest.raises(RuntimeError, match="use_voting=True"):
+            mp.run()
+
+
+@needs_mp
+class TestMemOnMP:
+    """Memory budgets lifted: per-process byte accounting rides the
+    exchange reply; the parent enforces the plan."""
+
+    def test_generous_budget_is_parity_invisible(self, programs, graph):
+        from repro.pregel.mem import MemPlan, MemoryManager
+
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=2)
+        mem = MemoryManager(MemPlan(budget_bytes=1 << 30))
+        mp = run_on(programs, graph, "pagerank", "mp", num_workers=2, mem=mem)
+        assert_parity(sim, mp)
+        report = mem.report()
+        assert len(report.peak_bytes) == 2
+        assert all(peak > 0 for peak in report.peak_bytes)
+        assert mp.metrics.mem_peak_bytes == max(report.peak_bytes)
+
+    def test_overflow_degrades_to_structured_oom(self, programs, graph):
+        from repro.pregel.mem import MemPlan, MemoryManager
+
+        mem = MemoryManager(MemPlan(budget_bytes=2048))
+        mp = run_on(programs, graph, "pagerank", "mp", num_workers=2, mem=mem)
+        assert mp.metrics.halt_reason == "out_of_memory"
+        report = mem.report()
+        assert report.oom is not None
+        assert report.oom["phase"] == "exchange"
+        assert report.oom["needed_bytes"] > report.oom["budget_bytes"] == 2048
+
+
+@needs_mp
+class TestMakespanOnMP:
+    def test_makespan_accounting_matches_sim(self, programs, graph):
+        sim = run_on(
+            programs, graph, "pagerank", "sim",
+            scheduling="dense", track_makespan=True,
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp",
+            scheduling="dense", track_makespan=True,
+        )
+        assert sim.metrics.makespan_units == mp.metrics.makespan_units > 0
+        assert sim.metrics.ideal_units == mp.metrics.ideal_units > 0
+        assert_parity(sim, mp)
 
 
 class TestSlabSizing:

@@ -284,6 +284,72 @@ class TestUsageErrors:
         )
         assert "--spill-dir" in msg
 
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("kill:banana", "expected kill:WORKER@STEP"),
+            ("hang:1", "expected hang:WORKER@STEP"),
+            ("boom:1@2", "unknown kind 'boom'"),
+        ],
+    )
+    def test_malformed_real_fault_specs(self, capsys, spec, expected):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--checkpoint-every", "2",
+             "--inject-fault", spec],
+        )
+        assert "--inject-fault" in msg
+        assert expected in msg
+
+    @pytest.mark.parametrize("deadline", ["0", "-1.5"])
+    def test_nonpositive_exchange_deadline(self, capsys, deadline):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--exchange-deadline", deadline],
+        )
+        assert "--exchange-deadline must be > 0" in msg
+
+    @pytest.mark.parametrize("kind", ["kill", "hang"])
+    def test_real_faults_refused_off_mp(self, capsys, kind):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--checkpoint-every", "2", "--inject-fault", f"{kind}:1@2"],
+        )
+        assert "real process faults" in msg
+        assert "--backend mp" in msg
+
+    def test_real_fault_worker_out_of_range(self, capsys):
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--workers", "2", "--checkpoint-every", "2",
+             "--inject-fault", "kill:5@2"],
+        )
+        assert "names worker 5 but --workers is 2" in msg
+
+    def test_malformed_fault_spec_fails_before_graph_load(self, capsys):
+        # Builders run before the graph loads: the bad spec wins over a
+        # graph file that does not even exist.
+        msg = _usage_error(
+            capsys,
+            ["run", gm("pagerank"), *PAGERANK_ARGS,
+             "--checkpoint-every", "2", "--inject-fault", "kill:banana",
+             "--backend", "mp", "--graph-file", "/nonexistent/never.el"],
+        )
+        assert "--inject-fault" in msg
+
+    def test_help_documents_real_faults_and_deadline(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "--exchange-deadline" in out
+        assert "kill:W@S" in out
+        assert "hang:W@S" in out
+
 
 class TestNetAndSupervisorFlags:
     def test_net_faults_run_meters_and_roundtrips_json(self, tmp_path, capsys):
@@ -403,3 +469,48 @@ class TestMemBudgetFlags:
             ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
              "--mem-budget", "8k", "--spill-dir", "/dev/null/nope"],
         )
+
+
+class TestRealFaultFlags:
+    """End-to-end real process faults through the CLI (mp backend)."""
+
+    needs_mp = pytest.mark.skipif(
+        not __import__("repro.pregel.backend.mp", fromlist=["mp_available"]).mp_available(),
+        reason="needs fork start-method and multiprocessing.shared_memory",
+    )
+
+    @needs_mp
+    def test_kill_run_recovers_and_reports(self, capsys):
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--workers", "2", "--checkpoint-every", "2",
+             "--inject-fault", "kill:1@1", "--exchange-deadline", "10"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=mp" in out
+        assert "survived 1 worker crash(es)" in out
+
+    @needs_mp
+    def test_hang_run_times_out_and_recovers(self, capsys):
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--workers", "2", "--checkpoint-every", "2",
+             "--recovery", "confined", "--inject-fault", "hang:0@1",
+             "--exchange-deadline", "0.75"],
+        )
+        assert code == 0
+        assert "survived 1 worker crash(es)" in capsys.readouterr().out
+
+    @needs_mp
+    def test_supervised_kill_prints_cause(self, capsys):
+        code = main(
+            ["run", gm("pagerank"), *PAGERANK_ARGS, "--scale", "0.05",
+             "--backend", "mp", "--workers", "2", "--checkpoint-every", "2",
+             "--heartbeat", "interval=1,phi=4,deadline=5",
+             "--inject-fault", "kill:1@1", "--exchange-deadline", "10"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cause=died" in out
+        assert "-> restarted" in out

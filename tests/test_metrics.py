@@ -268,6 +268,33 @@ class TestMeteredParityMatrix:
         for row in snap["mp.worker_step_seconds"]["series"]:
             assert row["count"] == run.metrics.supersteps
 
+    @needs_mp
+    @pytest.mark.parametrize("kind,cause", [("kill", "died"), ("hang", "timeout")])
+    def test_mp_real_fault_families(self, programs, graph, kind, cause):
+        from repro.pregel.ft import FaultPlan, FaultTolerance, RealFault
+
+        registry = MetricsRegistry()
+        run = programs["pagerank"].run(
+            graph,
+            default_args("pagerank", graph),
+            backend="mp",
+            num_workers=2,
+            metrics_registry=registry,
+            ft=FaultTolerance(FaultPlan(checkpoint_every=2)),
+            real_faults=(RealFault(kind, 1, 1),),
+            exchange_deadline=0.75 if kind == "hang" else 10.0,
+        )
+        assert run.metrics.restarts == 1
+        snap = registry.snapshot()
+        misses = snap["mp.exchange_deadline_misses"]["series"]
+        assert [(row["labels"], row["value"]) for row in misses] == [
+            ({"cause": cause}, 1)
+        ]
+        restarts = snap["supervisor.restarts"]["series"]
+        assert [(row["labels"], row["value"]) for row in restarts] == [
+            ({"backend": "mp"}, 1)
+        ]
+
 
 # ---------------------------------------------------------------------------
 # Vectorizer decision telemetry (compile.vectorize)
