@@ -1,14 +1,28 @@
-"""Real-process chaos on the mp backend — kill/hang recovery latency.
+"""Real-process and real-network chaos on the mp backend.
 
-One job, wired into the CI ``chaos`` job: SIGKILL and hang real worker
-processes mid-run and measure what recovery actually costs in wall time.
-Unlike ``bench_net.py``'s simulated sweep (where detection latency is a
-*simulated-clock* quantity), here the parent's deadline-based exchange
-barrier does the detecting against live OS processes, so the overhead
-column is real seconds: pipe-EOF detection is near-instant for ``kill``,
-while ``hang`` pays the exchange deadline before escalating.  Every row
-must finish bit-identical to the failure-free mp baseline.  The table
-lands in ``benchmarks/reports/mp_chaos.txt`` (quoted by EXPERIMENTS.md).
+One job, wired into the CI ``chaos`` job, in three slices:
+
+* **shm faults** — SIGKILL and hang real worker processes mid-run and
+  measure what recovery actually costs in wall time.  Unlike
+  ``bench_net.py``'s simulated sweep (where detection latency is a
+  *simulated-clock* quantity), here the parent's deadline-based exchange
+  barrier does the detecting against live OS processes, so the overhead
+  column is real seconds: pipe-EOF detection is near-instant for
+  ``kill``, while ``hang`` pays the exchange deadline before escalating.
+* **tcp faults** — the same sweep over the real loopback-socket
+  transport, extended with the network kinds: ``netsplit`` (the victim's
+  listening socket closes mid-exchange, peers see a real ECONNREFUSED)
+  and ``slowlink`` (the victim stalls past its peers' deadline).
+* **transport throughput** — shm vs tcp on the same workloads, pricing
+  what real kernel socket buffers cost over shared-memory segments.
+
+Every faulted row must finish bit-identical to the failure-free baseline
+on its own transport; every tcp throughput row must be bit-identical to
+its shm twin.  The table lands in ``benchmarks/reports/mp_chaos.txt``
+(quoted by EXPERIMENTS.md) and its machine-readable twin in
+``BENCH_mp_chaos.json`` so ``gm-pregel compare --counts-only`` can gate
+recovery behaviour (restart counts, parity flags, message counts)
+against the committed baseline.
 
 Skipped wholesale where the mp backend is unavailable (no fork
 start-method or no ``multiprocessing.shared_memory``).
@@ -18,7 +32,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import mp_kill_sweep
+from repro.bench import mp_kill_sweep, mp_transport_sweep
+from repro.bench.telemetry import run_record, write_bench
 from repro.pregel.backend.mp import mp_available
 
 from conftest import emit_report
@@ -27,30 +42,110 @@ pytestmark = pytest.mark.skipif(
     not mp_available(), reason="mp backend unavailable on this platform"
 )
 
-
-def test_mp_kill_recovery(benchmark, report_dir):
-    benchmark.pedantic(lambda: _mp_kill_recovery(report_dir), rounds=1, iterations=1)
+_DEADLINE_S = 1.5
 
 
-def _mp_kill_recovery(report_dir):
-    rows = mp_kill_sweep(deadline_s=1.5)
-    assert rows, "mp_available() passed but the sweep returned no rows"
-    assert all(row.identical for row in rows), [
-        (row.kind, row.recovery) for row in rows if not row.identical
-    ]
+def test_mp_chaos_report(benchmark, report_dir, scale):
+    benchmark.pedantic(
+        lambda: _mp_chaos_report(report_dir, scale), rounds=1, iterations=1
+    )
+
+
+def _fault_lines(rows, title):
     lines = [
-        "Real process faults on the mp backend: detection + re-fork recovery",
-        "(PageRank/twitter scale=0.12, 2 workers, checkpoint_every=2,",
-        " exchange deadline 1.5 s; every row bit-identical to the",
-        " failure-free mp baseline; overhead = faulted wall - baseline wall)",
-        "",
-        f"{'fault':>5} {'recovery':>9} {'deadline(s)':>11} "
+        title,
+        f"{'fault':>9} {'recovery':>9} {'deadline(s)':>11} "
         f"{'restarts':>8} {'wall(ms)':>9} {'overhead(ms)':>12}",
     ]
     for row in rows:
         lines.append(
-            f"{row.kind:>5} {row.recovery:>9} {row.deadline_s:>11.1f} "
+            f"{row.kind:>9} {row.recovery:>9} {row.deadline_s:>11.1f} "
             f"{row.restarts:>8} {row.wall_seconds * 1e3:>9.1f} "
             f"{row.overhead_s * 1e3:>12.1f}"
         )
+    return lines
+
+
+def _mp_chaos_report(report_dir, scale):
+    kill_scale = min(scale, 0.12)
+    shm_rows = mp_kill_sweep(deadline_s=_DEADLINE_S, scale=kill_scale)
+    assert shm_rows, "mp_available() passed but the sweep returned no rows"
+    tcp_rows = mp_kill_sweep(
+        ("kill", "netsplit", "slowlink"),
+        deadline_s=_DEADLINE_S,
+        scale=kill_scale,
+        transport="tcp",
+    )
+    transport_rows = mp_transport_sweep(scale=kill_scale)
+    for rows in (shm_rows, tcp_rows, transport_rows):
+        bad = [r for r in rows if not r.identical]
+        assert not bad, bad
+
+    lines = [
+        "Real faults on the mp backend: detection + re-fork recovery",
+        f"(PageRank/twitter scale={kill_scale}, 2 workers, checkpoint_every=2,",
+        f" exchange deadline {_DEADLINE_S} s; every row bit-identical to the",
+        " failure-free baseline on its own transport;",
+        " overhead = faulted wall - baseline wall)",
+        "",
+    ]
+    lines += _fault_lines(shm_rows, "shm transport (pipes + shared memory):")
+    lines.append("")
+    lines += _fault_lines(
+        tcp_rows,
+        "tcp transport (real loopback sockets; netsplit = listener closed"
+        " mid-exchange, slowlink = stalled past the peers' deadline):",
+    )
+    lines += [
+        "",
+        "Transport throughput, shm vs tcp (same workload, bit-identical):",
+        f"{'algorithm':>10} {'transport':>9} {'wall(ms)':>9} "
+        f"{'net MB/s':>9} {'net_bytes':>10}",
+    ]
+    for row in transport_rows:
+        lines.append(
+            f"{row.algorithm:>10} {row.transport:>9} "
+            f"{row.best_wall * 1e3:>9.1f} {row.throughput_mbs:>9.1f} "
+            f"{row.net_bytes:>10}"
+        )
     emit_report(report_dir, "mp_chaos", "\n".join(lines))
+
+    # Machine-readable twin.  Counts are seed-stable, so the CI
+    # counts-only gate pins recovery behaviour: restart counts, the
+    # bit-identical flag of every faulted/tcp run, and the message
+    # counts that must not drift between transports.
+    records = []
+    for row in shm_rows + tcp_rows:
+        records.append(
+            run_record(
+                f"{row.transport}:{row.kind}:{row.recovery}",
+                backend="mp",
+                workers=2,
+                wall_seconds=[row.wall_seconds],
+                counts={
+                    "restarts": row.restarts,
+                    "identical": int(row.identical),
+                },
+            )
+        )
+    for row in transport_rows:
+        records.append(
+            run_record(
+                f"{row.transport}:{row.algorithm}",
+                backend="mp",
+                workers=2,
+                wall_seconds=row.wall_seconds,
+                counts={
+                    "supersteps": row.supersteps,
+                    "messages": row.messages,
+                    "message_bytes": row.message_bytes,
+                    "net_messages": row.net_messages,
+                    "net_bytes": row.net_bytes,
+                    "identical": int(row.identical),
+                },
+            )
+        )
+    write_bench(
+        "mp_chaos", records, out_dir=report_dir,
+        meta={"scale": kill_scale, "deadline_s": _DEADLINE_S},
+    )

@@ -365,13 +365,14 @@ def recovery_latency_sweep(
 class MPKillRow:
     """One point of the real-process fault sweep on the mp backend."""
 
-    kind: str  # "kill" | "hang"
+    kind: str  # "kill" | "hang" | "netsplit" | "slowlink"
     recovery: str
     deadline_s: float
     identical: bool
     restarts: int
     wall_seconds: float
     overhead_s: float
+    transport: str = "shm"
 
 
 def mp_kill_sweep(
@@ -380,14 +381,20 @@ def mp_kill_sweep(
     scale: float = 0.12,
     workers: int = 2,
     deadline_s: float = 1.5,
+    transport: str = "shm",
 ) -> list[MPKillRow]:
-    """Real SIGKILL / hang faults against live mp worker processes: the
-    parent's deadline-based barrier detects the failure, re-forks the
-    worker from the latest checkpoint, and the run must finish
-    bit-identical to the failure-free mp baseline.  The wall overhead is
-    the real price of detection + re-fork + replay (for ``hang`` the
-    floor is the exchange deadline itself).  Returns ``[]`` when the
-    platform cannot run the mp backend."""
+    """Real faults against live mp worker processes: the parent's
+    deadline-based barrier detects the failure, re-forks the worker from
+    the latest checkpoint, and the run must finish bit-identical to the
+    failure-free mp baseline on the same transport.  ``kill`` / ``hang``
+    are process faults on either transport; under ``transport="tcp"``
+    the sweep also accepts the network kinds — ``netsplit`` (the
+    victim's listening socket closes mid-exchange, peers see a real
+    ECONNREFUSED) and ``slowlink`` (the victim stalls past its peers'
+    deadline).  The wall overhead is the real price of detection +
+    re-fork + replay (for ``hang``/``slowlink`` the floor is the
+    exchange deadline itself).  Returns ``[]`` when the platform cannot
+    run the mp backend."""
     from ..pregel.backend.mp import mp_available
 
     if not mp_available():
@@ -396,7 +403,10 @@ def mp_kill_sweep(
     program = compile_algorithm("pagerank", emit_java=False).program
     args = default_args("pagerank", graph)
     t0 = time.perf_counter()
-    baseline = program.run(graph, args, backend="mp", num_workers=workers)
+    baseline = program.run(
+        graph, args, backend="mp", num_workers=workers,
+        transport_mode=transport,
+    )
     base_wall = time.perf_counter() - t0
     crash_step = max(1, baseline.metrics.supersteps - 2)
     rows: list[MPKillRow] = []
@@ -412,6 +422,7 @@ def mp_kill_sweep(
                 ft=ft,
                 real_faults=(RealFault(kind, 1, crash_step),),
                 exchange_deadline=deadline_s,
+                transport_mode=transport,
             )
             wall = time.perf_counter() - t0
             rows.append(
@@ -426,6 +437,84 @@ def mp_kill_sweep(
                     restarts=run.metrics.restarts,
                     wall_seconds=wall,
                     overhead_s=wall - base_wall,
+                    transport=transport,
+                )
+            )
+    return rows
+
+
+@dataclass
+class MPTransportRow:
+    """One (algorithm, transport) point of the slab-exchange comparison."""
+
+    algorithm: str
+    transport: str  # "shm" | "tcp"
+    wall_seconds: list  # raw per-repeat samples (min-of-N at read time)
+    identical: bool  # parity vs the shm run of the same algorithm
+    supersteps: int
+    messages: int
+    message_bytes: int
+    net_messages: int
+    net_bytes: int
+
+    @property
+    def best_wall(self) -> float:
+        return min(self.wall_seconds)
+
+    @property
+    def throughput_mbs(self) -> float:
+        """Cross-worker slab throughput, MB of net payload per second."""
+        return self.net_bytes / self.best_wall / 1e6
+
+
+def mp_transport_sweep(
+    algorithms: tuple[str, ...] = ("pagerank", "sssp"),
+    *,
+    scale: float = 0.12,
+    workers: int = 2,
+    repeats: int = 3,
+) -> list[MPTransportRow]:
+    """shm vs tcp slab exchange on the same workload: both transports
+    must be bit-identical on ``parity_key()`` + outputs (the tcp rows
+    are checked against their shm twins), and the wall columns price
+    what real loopback sockets cost over shared-memory segments.
+    Returns ``[]`` when the platform cannot run the mp backend."""
+    from ..pregel.backend.mp import mp_available
+
+    if not mp_available():
+        return []
+    graph = load_graph("twitter", scale)
+    rows: list[MPTransportRow] = []
+    for alg in algorithms:
+        program = compile_algorithm(alg, emit_java=False).program
+        args = default_args(alg, graph)
+        runs = {}
+        for transport in ("shm", "tcp"):
+            walls = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                run = program.run(
+                    graph, args, backend="mp", num_workers=workers,
+                    transport_mode=transport,
+                )
+                walls.append(time.perf_counter() - t0)
+            runs[transport] = run
+            m = run.metrics
+            oracle = runs["shm"]
+            rows.append(
+                MPTransportRow(
+                    algorithm=alg,
+                    transport=transport,
+                    wall_seconds=walls,
+                    identical=(
+                        run.outputs == oracle.outputs
+                        and m.parity_key() == oracle.metrics.parity_key()
+                    ),
+                    supersteps=m.supersteps,
+                    messages=m.messages,
+                    message_bytes=m.message_bytes,
+                    net_messages=m.net_messages,
+                    net_bytes=m.net_bytes,
                 )
             )
     return rows

@@ -126,7 +126,13 @@ def _build_fault_tolerance(ns: argparse.Namespace):
     """
     if not ns.checkpoint_every and not ns.inject_fault and not ns.heartbeat:
         return None, ()
-    from .pregel.ft import FaultPlan, FaultTolerance, RealFault, parse_fault
+    from .pregel.ft import (
+        NETWORK_FAULT_KINDS,
+        FaultPlan,
+        FaultTolerance,
+        RealFault,
+        parse_fault,
+    )
 
     try:
         faults = [parse_fault(spec) for spec in ns.inject_fault]
@@ -140,6 +146,12 @@ def _build_fault_tolerance(ns: argparse.Namespace):
             raise ValueError(
                 f"'{real[0].kind}:' faults are real process faults — they "
                 "need real worker processes (run with --backend mp)"
+            )
+        network = tuple(f for f in real if f.kind in NETWORK_FAULT_KINDS)
+        if network and getattr(ns, "transport", "shm") != "tcp":
+            raise ValueError(
+                f"'{network[0].kind}:' faults are network faults — they "
+                "need the real socket transport (run with --transport tcp)"
             )
         plan = FaultPlan(
             checkpoint_every=ns.checkpoint_every,
@@ -212,6 +224,11 @@ def _validate_backend_composition(ns: argparse.Namespace) -> None:
     1M-vertex graph fail in milliseconds, with the identical exit-2
     message, because both paths share :func:`composition_refusals`."""
     if ns.backend != "mp":
+        if getattr(ns, "transport", "shm") == "tcp":
+            raise _die(
+                "--transport tcp needs real worker processes to connect "
+                "(run with --backend mp)"
+            )
         return
     from .pregel.backend.mp import composition_refusals, mp_available
 
@@ -255,14 +272,17 @@ def _execute_traced(
     result = compile_source(source, emit_java=False, tracer=tracer)
     args = _parse_args_list(ns.arg)
     engine_opts = {}
+    if getattr(ns, "partitioning", "hash") != "hash":
+        engine_opts["partitioning"] = ns.partitioning
     if ns.backend == "mp":
         # mp-only knobs: the sim/columnar engines have no worker
         # processes, so they do not take these keyword arguments.
-        engine_opts = {
-            "real_faults": real_faults,
-            "exchange_deadline": ns.exchange_deadline,
-            "max_restarts": ns.max_restarts,
-        }
+        engine_opts.update(
+            real_faults=real_faults,
+            exchange_deadline=ns.exchange_deadline,
+            max_restarts=ns.max_restarts,
+            transport_mode=getattr(ns, "transport", "shm"),
+        )
     try:
         run = result.program.run(
             graph,
@@ -558,6 +578,25 @@ def main(argv: list[str] | None = None) -> int:
                 "are parity-identical on outputs and metered quantities",
             )
             p.add_argument(
+                "--transport",
+                choices=("shm", "tcp"),
+                default="shm",
+                help="mp backend data plane: 'shm' exchanges slabs through "
+                "shared-memory segments, 'tcp' moves the cross-worker slabs "
+                "over real loopback sockets (length-prefixed CRC frames, "
+                "per-destination sequence numbers, ack/retransmit/dedup); "
+                "outputs and parity_key() are bit-identical across both",
+            )
+            p.add_argument(
+                "--partitioning",
+                choices=("hash", "range"),
+                default="hash",
+                help="vertex -> worker placement: 'hash' interleaves ids "
+                "round-robin, 'range' assigns contiguous id blocks "
+                "(id-local edges stay within one worker); outputs are "
+                "bit-identical across both at equal worker counts",
+            )
+            p.add_argument(
                 "--checkpoint-every",
                 type=int,
                 default=0,
@@ -574,7 +613,11 @@ def main(argv: list[str] | None = None) -> int:
                 "Plain W@S simulates the crash on any backend; kill:W@S "
                 "SIGKILLs the real worker process and hang:W@S wedges it "
                 "past the exchange deadline (both --backend mp only, "
-                "detected by the parent's deadline-based barrier)",
+                "detected by the parent's deadline-based barrier); "
+                "netsplit:W@S closes the worker's listening socket "
+                "mid-exchange and slowlink:W@S stalls it past its peers' "
+                "deadline (both --backend mp --transport tcp only, "
+                "classified as refused/timeout by the peers)",
             )
             p.add_argument(
                 "--recovery",

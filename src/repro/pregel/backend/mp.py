@@ -63,12 +63,43 @@ never a deadlock.  Detections escalate through
 restore, confined replay in the parent, re-fork of the dead process —
 with capped restarts degrading to ``halt_reason="unrecoverable"``.
 ``--inject-fault kill:W@S`` (real SIGKILL) and ``hang:W@S`` (sleep past
-the deadline) exercise the path; shared-memory segments are tracked
-module-wide and unlinked on every exit path (``finally`` + ``atexit``).
+the deadline) exercise the path; shared-memory segments and bound
+sockets are tracked module-wide and released on every exit path
+(``finally`` + ``atexit``).
+
+**Transports.** ``transport_mode="shm"`` (the default) carries every
+slab through the shared-memory segments.  ``"tcp"`` adds a real network
+data plane (:mod:`repro.pregel.backend.tcp`): each worker owns a
+loopback listening socket bound in the parent before the fork, and the
+*cross-worker* slabs travel as length-prefixed CRC-framed messages with
+per-destination sequence numbers, acks, bounded retransmit with
+exponential backoff, and dedup — the :mod:`repro.pregel.net` delivery
+discipline against real kernel buffers.  Slabs are still written to the
+segments in tcp mode (the parent's checkpoint decode, makespan
+accounting, and delivery counts read them there), so shm and tcp runs
+are bit-identical on ``parity_key()`` and outputs by construction; the
+receivers' *inboxes*, however, are built from the socket frames, so a
+peer that cannot be reached (connection refused / reset / silent past
+the per-peer deadline) is a classified real failure: the worker abandons
+the exchange, reports ``{peer: cause}`` in its barrier reply, and the
+parent folds the reports into a culprit, escalates through
+``ft.recover_worker`` and re-seeds the surviving workers' inboxes from
+its own slab decode.  ``--inject-fault netsplit:W@S`` (the worker closes
+its listening socket mid-exchange) and ``slowlink:W@S`` (the worker
+stalls past its peers' deadline) inject real network faults on this
+path.
+
+**Partitioning.** ``partitioning="hash"`` (default) interleaves vertex
+ids across workers; ``"range"`` assigns contiguous id blocks with the
+simulator's exact placement formula.  Both reconstruct the simulator's
+per-receiver order from the same stable sender-vid sort — the sim
+computes vertices in ascending global vid order whatever the placement,
+and a sender vid sort restores exactly that for interleaved *and*
+contiguous partitions.
 
 The backend still refuses — with :class:`BackendUnsupported` — the
-simulated transport (real pipes carry the slabs; channel-fault modeling
-would have nothing real to model) and non-hash partitioning.
+simulated transport (real pipes and sockets carry the slabs;
+channel-fault modeling would have nothing real to model).
 :func:`composition_refusals` exposes the refusal list so the CLI can
 validate a composition *before* loading a graph, with identical messages.
 """
@@ -86,7 +117,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from ..ft import RealFault
+from ..ft import NETWORK_FAULT_KINDS, REAL_FAULT_KINDS, RealFault
 from ..globalmap import GlobalObjectMap
 from ..graph import Graph
 from ..mem import MemoryExhausted
@@ -128,6 +159,35 @@ def _release_segment(seg) -> None:
 def _cleanup_segments() -> None:
     for seg in list(_LIVE_SEGMENTS.values()):
         _release_segment(seg)
+
+
+#: every parent-owned bound socket (tcp transport listeners) alive in
+#: this process, by id — like the segments, the atexit backstop closes
+#: whatever an aborted run left bound.  A listener is tracked from bind
+#: until the parent closes its copy right after the owning worker forks.
+_LIVE_SOCKETS: dict[int, Any] = {}
+_SOCKET_CLEANUP_REGISTERED = False
+
+
+def _track_socket(sock) -> None:
+    global _SOCKET_CLEANUP_REGISTERED
+    _LIVE_SOCKETS[id(sock)] = sock
+    if not _SOCKET_CLEANUP_REGISTERED:
+        atexit.register(_cleanup_sockets)
+        _SOCKET_CLEANUP_REGISTERED = True
+
+
+def _release_socket(sock) -> None:
+    _LIVE_SOCKETS.pop(id(sock), None)
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _cleanup_sockets() -> None:
+    for sock in list(_LIVE_SOCKETS.values()):
+        _release_socket(sock)
 
 
 class _WorkerDead(Exception):
@@ -214,11 +274,14 @@ def composition_refusals(
     a refused flag combination fails with the identical message whether
     it is caught in milliseconds (CLI, before the graph loads) or at
     engine construction.  ``combiners``, ``ft``, ``tracer``,
-    ``use_voting``, ``supervisor``, ``mem``, and ``track_makespan`` are
-    accepted for signature stability: those compositions are supported.
+    ``use_voting``, ``supervisor``, ``mem``, ``track_makespan``, and
+    ``partitioning`` are accepted for signature stability: those
+    compositions are supported (range partitioning runs contiguous vid
+    blocks with the simulator's placement formula).
     """
     # lifted compositions — no longer refused
     del combiners, ft, tracer, use_voting, supervisor, mem, track_makespan
+    del partitioning
     refusals = []
 
     def refuse(feature: str, hint: str) -> None:
@@ -228,9 +291,11 @@ def composition_refusals(
         )
 
     if transport is not None:
-        refuse("the simulated transport", "real pipes carry the slabs")
-    if partitioning != "hash":
-        refuse(f"'{partitioning}' partitioning", "workers own hash partitions")
+        refuse(
+            "the simulated transport",
+            "real pipes and sockets carry the slabs — --transport tcp "
+            "runs a real network instead",
+        )
     return refusals
 
 
@@ -281,6 +346,7 @@ class MPEngine:
         real_faults=(),
         exchange_deadline: float = 30.0,
         max_restarts: int = 3,
+        transport_mode: str = "shm",
     ):
         refusals = composition_refusals(
             use_voting=use_voting,
@@ -310,10 +376,21 @@ class MPEngine:
             )
         if exchange_deadline <= 0:
             raise ValueError("exchange_deadline must be > 0")
+        if transport_mode not in ("shm", "tcp"):
+            raise ValueError(
+                f"unknown transport '{transport_mode}' (expected 'shm' or 'tcp')"
+            )
+        if partitioning not in ("hash", "range"):
+            raise ValueError(f"unknown partitioning '{partitioning}'")
         real_faults = tuple(real_faults or ())
         for fault in real_faults:
-            if fault.kind not in ("kill", "hang"):
+            if fault.kind not in REAL_FAULT_KINDS:
                 raise ValueError(f"unknown real fault kind '{fault.kind}'")
+            if fault.kind in NETWORK_FAULT_KINDS and transport_mode != "tcp":
+                raise ValueError(
+                    f"'{fault.kind}:' faults are network faults — they need "
+                    "the real socket transport (run with --transport tcp)"
+                )
             if not 0 <= fault.worker < max(1, num_workers):
                 raise ValueError(
                     f"fault targets worker {fault.worker} but the engine "
@@ -321,9 +398,9 @@ class MPEngine:
                 )
         if real_faults and ft is None:
             raise ValueError(
-                "real process faults (kill:/hang:) require fault tolerance: "
-                "pass ft=... / --checkpoint-every so recovery has a "
-                "checkpoint to restore"
+                "real process faults (kill:/hang:/netsplit:/slowlink:) "
+                "require fault tolerance: pass ft=... / --checkpoint-every "
+                "so recovery has a checkpoint to restore"
             )
         self.graph = graph
         self.schema = schema
@@ -335,7 +412,8 @@ class MPEngine:
         self.metrics.worker_sent = [0] * self.num_workers
         self.superstep = 0
         self.result: Any = None
-        self.partitioning = "hash"
+        self.partitioning = partitioning
+        self.transport_mode = transport_mode
         self._halt = False
         self._vertex_compute = vertex_compute
         self._master_compute = master_compute
@@ -345,9 +423,28 @@ class MPEngine:
         self._combiners = combiners or {}
         self._codec = MessageCodec(schema)
         w = self.num_workers
-        self._worker_of = bytes(v % w for v in range(graph.num_nodes)) if w <= 256 else [
-            v % w for v in range(graph.num_nodes)
-        ]
+        n = graph.num_nodes
+        # Vertex -> worker placement, the simulator's exact formulas:
+        # 'hash' interleaves ids round-robin, 'range' owns contiguous
+        # blocks.  ``_part_slices[wid]`` is the matching column/bitset
+        # slice, so strided and contiguous partitions share every
+        # gather/scatter/vote path below.
+        if partitioning == "hash":
+            self._worker_of = bytes(v % w for v in range(n)) if w <= 256 else [
+                v % w for v in range(n)
+            ]
+            self._part_slices = [slice(wid, None, w) for wid in range(w)]
+        else:
+            placed = [min(v * w // max(1, n), w - 1) for v in range(n)]
+            self._worker_of = bytes(placed) if w <= 256 else placed
+            bounds = [0] * (w + 1)
+            for owner in placed:
+                bounds[owner + 1] += 1
+            for wid in range(w):
+                bounds[wid + 1] += bounds[wid]
+            self._part_slices = [
+                slice(bounds[wid], bounds[wid + 1]) for wid in range(w)
+            ]
         self._columns: dict[str, Any] = {}
         self.tracer = tracer
         # Metrics registry: the parent owns the authoritative registry;
@@ -380,8 +477,20 @@ class MPEngine:
         self._max_restarts = max_restarts
         self._restarts_used = 0
         self._hang_now: dict[int, float] = {}
+        self._net_now: dict[int, str] = {}
         self._dead_pending: list[tuple[int, str]] = []
         self._abort_reason: str | None = None
+        # tcp transport plumbing: parent-bound listeners (children inherit
+        # across the fork; the parent closes its copy right after each
+        # fork), the port map, and per-worker fork epochs (bumped on every
+        # re-fork so receivers reset that sender's sequence stream).
+        self._listeners: list = []
+        self._ports: list[int] = []
+        self._epochs: list[int] = [0] * w
+        #: set when an abandoned tcp exchange discarded live workers'
+        #: inboxes: the next _refork() re-seeds every surviving worker
+        #: from the parent's slab decode.
+        self._reseed_live = False
         #: in-flight messages (sent last superstep, delivered to the live
         #: worker inboxes) as the parent's own decode — checkpoint payloads
         #: and confined-recovery logs read this through outbox_view().
@@ -604,6 +713,17 @@ class MPEngine:
                 seg = shared_memory.SharedMemory(create=True, size=self._slab_bytes)
                 self._segments.append(seg)
                 _track_segment(seg)
+            if self.transport_mode == "tcp":
+                # Bind every worker's listener *before* any fork: the full
+                # port map is then inherited by every child, and each
+                # child closes the siblings' copies in its own _init.
+                from . import tcp as tcp_transport
+
+                for _ in range(w):
+                    sock = tcp_transport.bind_listener()
+                    self._listeners.append(sock)
+                    self._ports.append(sock.getsockname()[1])
+                    _track_socket(sock)
             self._workers = [
                 _Worker(wid, self, self._segments) for wid in range(w)
             ]
@@ -641,6 +761,9 @@ class MPEngine:
                 conn.close()
             for seg in self._segments:
                 _release_segment(seg)
+            for sock in self._listeners:
+                if sock is not None:
+                    _release_socket(sock)
             if self.mem is not None:
                 # Mirrors the simulator's teardown: record the OOM (if any)
                 # into the report, then release spill/checkpoint scratch —
@@ -688,26 +811,34 @@ class MPEngine:
         ctx = self._mpctx
         part = None
         if not fresh:
-            worker_of = self._worker_of
-            part = {
-                dst: list(msgs)
-                for dst, msgs in self._inflight.items()
-                if worker_of[dst] == wid
-            }
-            if self._voted is not None:
-                # The seeded in-flight messages *are* this partition's next
-                # delivery; a normal exchange clears the receivers' votes
-                # worker-side, so re-apply those clears before the fork —
-                # the child inherits the cleared bitset copy-on-write.
-                voted = self._voted
-                for dst in part:
-                    voted[dst] = 0
+            part = self._seed_part(wid)
+            if self.transport_mode == "tcp":
+                # The replacement worker needs a live listener: the old
+                # one died with the process (or was the netsplit).  Bind a
+                # fresh port in the parent pre-fork and bump the worker's
+                # epoch so every receiver resets its sequence stream.
+                from . import tcp as tcp_transport
+
+                old = self._listeners[wid]
+                if old is not None:
+                    _release_socket(old)
+                sock = tcp_transport.bind_listener()
+                _track_socket(sock)
+                self._listeners[wid] = sock
+                self._ports[wid] = sock.getsockname()[1]
+                self._epochs[wid] += 1
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=self._workers[wid].main, args=(child_conn,), daemon=True
         )
         proc.start()
         child_conn.close()
+        if self.transport_mode == "tcp":
+            # The child inherited the listening fd across the fork; close
+            # the parent's copy so a worker-side close (the netsplit
+            # fault, or a death) really drops the kernel listener and
+            # peers see ECONNREFUSED.
+            _release_socket(self._listeners[wid])
         if fresh:
             self._conns.append(parent_conn)
             self._procs.append(proc)
@@ -715,6 +846,27 @@ class MPEngine:
             self._conns[wid] = parent_conn
             self._procs[wid] = proc
             parent_conn.send(("seed", part))
+
+    def _seed_part(self, wid: int) -> dict[int, list]:
+        """This worker's slice of the in-flight messages, with the
+        matching parent-side vote clears applied.
+
+        The seeded in-flight messages *are* the partition's next
+        delivery; a normal exchange clears the receivers' votes
+        worker-side, so re-apply those clears here — a re-forked child
+        inherits the cleared bitset copy-on-write, and a live re-seeded
+        worker applies the same clears in its seed handler."""
+        worker_of = self._worker_of
+        part = {
+            dst: list(msgs)
+            for dst, msgs in self._inflight.items()
+            if worker_of[dst] == wid
+        }
+        if self._voted is not None:
+            voted = self._voted
+            for dst in part:
+                voted[dst] = 0
+        return part
 
     def _refork(self) -> None:
         wids = (
@@ -735,16 +887,39 @@ class MPEngine:
                 raise RuntimeError(
                     f"mp worker {wid} {exc.describe()} during recovery re-fork"
                 ) from None
+        if self._reseed_live and not self._refork_all:
+            # An abandoned tcp exchange: the surviving workers discarded
+            # their partial inboxes, so re-seed them from the parent's own
+            # slab decode — the same per-destination lists a successful
+            # socket merge would have produced (identical stable sort).
+            reforked = set(wids)
+            live = [
+                wid for wid in range(self.num_workers) if wid not in reforked
+            ]
+            for wid in live:
+                self._send(wid, ("seed", self._seed_part(wid)))
+            for wid in live:
+                try:
+                    self._recv(wid)
+                except _WorkerDead as exc:
+                    raise RuntimeError(
+                        f"mp worker {wid} {exc.describe()} during "
+                        "post-exchange re-seed"
+                    ) from None
+        self._reseed_live = False
         self._refork_all = False
         self._refork_workers.clear()
 
     def _inject_real_faults(self) -> None:
         """Fire scheduled real process faults for the current superstep:
         ``kill`` SIGKILLs the worker's OS process now, ``hang`` arms a
-        sleep past the exchange deadline in this superstep's step command.
-        Fired faults are consumed — recovery re-executes superstep
-        numbers, and a fault is not re-injected into its own replay
-        (matching simulated CrashEvent semantics)."""
+        sleep past the exchange deadline in this superstep's step command,
+        ``netsplit``/``slowlink`` arm a network fault delivered in this
+        superstep's exchange command (the worker closes its listener /
+        stalls past its peers' deadline mid-exchange).  Fired faults are
+        consumed — recovery re-executes superstep numbers, and a fault is
+        not re-injected into its own replay (matching simulated
+        CrashEvent semantics)."""
         kills: list[int] = []
         if self._real_pending:
             due = [f for f in self._real_pending if f.superstep == self.superstep]
@@ -755,8 +930,10 @@ class MPEngine:
                 for fault in due:
                     if fault.kind == "kill":
                         kills.append(fault.worker)
-                    else:
+                    elif fault.kind == "hang":
                         self._hang_now[fault.worker] = self._exchange_deadline * 4
+                    else:
+                        self._net_now[fault.worker] = fault.kind
         if self.supervisor is not None:
             # A supervised crash_rate draws real kills per superstep, the
             # plan's seeded RNG deciding — same knob, real process death.
@@ -810,6 +987,43 @@ class MPEngine:
                 self._abort_reason = "unrecoverable"
                 return False
         return True
+
+    def _fold_peer_reports(self, reports: dict[int, dict]) -> None:
+        """Fold the workers' tcp exchange failure reports into culprits.
+
+        Connection-level evidence (``refused``/``reset``) is conclusive:
+        only a peer whose listener or process is actually gone produces
+        it, so those peers are the culprits and timeout-only accusations
+        — including a netsplit victim blaming every peer whose frames
+        never reached its closed listener — are discarded.  With no
+        connection-level evidence (a slowlink: the culprit's connects
+        still succeed, its frames just never arrive), the peer accused by
+        the most reporters is blamed.  Any report means the reporters
+        discarded their partial inboxes, so the next ``_refork()``
+        re-seeds every surviving worker from the parent's slab decode."""
+        accused: dict[int, dict[str, int]] = {}
+        for _reporter, report in reports.items():
+            for peer, cause in report.items():
+                causes = accused.setdefault(peer, {})
+                causes[cause] = causes.get(cause, 0) + 1
+        conn_level = {
+            peer: ("refused" if "refused" in causes else "reset")
+            for peer, causes in accused.items()
+            if "refused" in causes or "reset" in causes
+        }
+        if conn_level:
+            blamed = sorted(conn_level.items())
+        else:
+            peer = max(
+                accused.items(), key=lambda kv: (sum(kv[1].values()), -kv[0])
+            )[0]
+            blamed = [(peer, "timeout")]
+        already = {wid for wid, _cause in self._dead_pending}
+        for peer, cause in blamed:
+            if peer not in already:
+                self._dead_pending.append((peer, cause))
+                already.add(peer)
+        self._reseed_live = True
 
     def _send(self, wid: int, payload) -> None:
         """Send a command, tolerating an already-dead worker: the failure
@@ -1054,8 +1268,25 @@ class MPEngine:
                 m.ideal_units += sum(step_work) / w
             if instr:
                 t_exchange = time.perf_counter()
-            for wid in range(w):
-                self._send(wid, ("exchange", directories, inlines, combined_parts))
+            if self.transport_mode == "tcp":
+                # The exchange command carries the current port/epoch map
+                # (a within-superstep re-fork may have moved a listener)
+                # plus this worker's armed network fault, if any.
+                ports, epochs = list(self._ports), list(self._epochs)
+                net_now, self._net_now = self._net_now, {}
+                for wid in range(w):
+                    fault = net_now.get(wid)
+                    if fault == "slowlink":
+                        fault = ("slowlink", self._exchange_deadline * 1.5)
+                    net = {"ports": ports, "epochs": epochs, "fault": fault}
+                    self._send(
+                        wid, ("exchange", directories, inlines, combined_parts, net)
+                    )
+            else:
+                for wid in range(w):
+                    self._send(
+                        wid, ("exchange", directories, inlines, combined_parts)
+                    )
             # The exchange barrier: each worker replies ("ready",
             # route_seconds, registry_snapshot | None, received_bytes,
             # vote_slice | None) — this is where the per-worker registries
@@ -1067,6 +1298,7 @@ class MPEngine:
             # missing reply's effects.
             worker_route_seconds = [0.0] * w
             delivered_bytes = [0] * w
+            peer_reports: dict[int, dict] = {}
             for wid in range(w):
                 try:
                     ready = self._recv(wid)
@@ -1081,7 +1313,11 @@ class MPEngine:
                 if len(ready) > 3:
                     delivered_bytes[wid] = ready[3]
                 if voted is not None and len(ready) > 4 and ready[4] is not None:
-                    voted[wid::w] = ready[4]
+                    voted[self._part_slices[wid]] = ready[4]
+                if len(ready) > 5 and ready[5]:
+                    peer_reports[wid] = ready[5]
+            if peer_reports:
+                self._fold_peer_reports(peer_reports)
             if metered:
                 m_exchange_s.observe(time.perf_counter() - t_exchange)
             if voted is not None:
@@ -1253,12 +1489,13 @@ class MPEngine:
                 if tolerate_dead:
                     continue
                 raise
+            part = self._part_slices[wid]
             for name, values in reply[1].items():
                 column = self._columns[name]
                 if isinstance(column, array):
-                    column[wid::w] = array(column.typecode, values)
+                    column[part] = array(column.typecode, values)
                 else:
-                    for i, vid in enumerate(range(wid, n, w)):
+                    for i, vid in enumerate(range(n)[part]):
                         column[vid] = values[i]
 
 
@@ -1425,7 +1662,36 @@ class _Worker:
         self._unpack = codec.unpack
         self._sizes = codec.sizes
         self._tag_ids = codec.tag_ids
-        self._own_vids = list(range(self.wid, n, self._w))
+        self._part_slice = engine._part_slices[self.wid]
+        self._own_vids = list(range(n)[self._part_slice])
+        # tcp transport: keep the fork-inherited copy of our own listener,
+        # close the siblings' (their owners hold the live fds — a stray
+        # inherited copy here would keep a "closed" listener accepting).
+        self._tcp = None
+        if engine.transport_mode == "tcp":
+            from .tcp import TcpSlabTransport
+
+            for wid, sock in enumerate(engine._listeners):
+                if wid != self.wid and sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            self._tcp = TcpSlabTransport(
+                self.wid,
+                engine._listeners[self.wid],
+                engine._ports,
+                engine._epochs,
+                self._mreg,
+            )
+            # Workers must abandon a dead exchange *before* the parent's
+            # own deadline expires on them, so the socket loop gets half
+            # the budget — the reply (with the failure report) then lands
+            # inside the parent's window.
+            self._tcp_deadline = engine._exchange_deadline * 0.5
+            self._tcp_outgoing = {
+                d: [] for d in range(self._w) if d != self.wid
+            }
         self._puts: list = []
         self._counters = self._fresh_counters()
         self._inbox: dict[int, list] = {}
@@ -1539,7 +1805,34 @@ class _Worker:
                 elif kind == "exchange":
                     t0 = time.perf_counter()
                     self._recv_bytes = 0
-                    self._read_slabs(cmd[1], cmd[2])
+                    report = None
+                    if self._tcp is not None:
+                        report = self._exchange_tcp(
+                            cmd[1], cmd[2], cmd[4] if len(cmd) > 4 else None
+                        )
+                    else:
+                        self._read_slabs(cmd[1], cmd[2])
+                    voted = self._voted
+                    if report:
+                        # A peer failed: abandon the whole exchange —
+                        # discard the partial inbox, skip the combined
+                        # parts and the vote clears (the parent re-seeds
+                        # this worker after recovery) and report the
+                        # classified causes so the parent can fold blame.
+                        self._inbox = {}
+                        votes = (
+                            bytes(voted[self._part_slice])
+                            if voted is not None
+                            else None
+                        )
+                        route_s = time.perf_counter() - t0
+                        snap = (
+                            self._mreg.snapshot(reset=True)
+                            if self._mreg is not None
+                            else None
+                        )
+                        conn.send(("ready", route_s, snap, 0, votes, report))
+                        continue
                     inbox = self._inbox
                     ovh = self._mem_overhead
                     sizes = self._sizes
@@ -1552,14 +1845,13 @@ class _Worker:
                         else:
                             bucket.append(msg)
                     votes = None
-                    voted = self._voted
                     if voted is not None:
                         # Ship this partition's slice *before* the delivery
                         # clears: the parent's fold then matches the
                         # simulator's end-of-phase bitset (checkpoints and
                         # traces included).  The local copy clears now —
                         # delivered messages wake their receivers next step.
-                        votes = bytes(voted[self.wid :: self._w])
+                        votes = bytes(voted[self._part_slice])
                         for dst in inbox:
                             voted[dst] = 0
                     route_s = time.perf_counter() - t0
@@ -1573,9 +1865,17 @@ class _Worker:
                 elif kind == "snapshot":
                     conn.send(("columns", self._gather()))
                 elif kind == "seed":
-                    # Recovery re-fork: install this partition's slice of
-                    # the in-flight messages as the pending inbox.
+                    # Recovery re-fork / post-abandon re-seed: install this
+                    # partition's slice of the in-flight messages as the
+                    # pending inbox.  The seeded messages are deliveries,
+                    # so clear their receivers' votes — a no-op for a
+                    # fresh fork (the child inherited the parent's
+                    # already-cleared bitset), the missing wake-up for a
+                    # live worker that abandoned its exchange.
                     self._inbox = cmd[1]
+                    if self._voted is not None:
+                        for dst in self._inbox:
+                            self._voted[dst] = 0
                     conn.send(("ready",))
                 elif kind == "finish":
                     conn.send(("columns", self._gather()))
@@ -1593,13 +1893,20 @@ class _Worker:
     def _write_slabs(self):
         """Flush the staged per-(destination, tag) slabs into this worker's
         shared-memory segment; anything past its capacity travels inline
-        over the pipe instead (correctness never depends on the size)."""
+        over the pipe instead (correctness never depends on the size).
+
+        In tcp mode the cross-worker parts are *additionally* queued as
+        socket frames: the segments stay authoritative for the parent
+        (checkpoint decode, makespan, delivery counts — the structural
+        parity guarantee), while the receivers build their inboxes from
+        the frames."""
         seg = self.segments[self.wid]
         buf = seg.buf
         capacity = seg.size
         offset = 0
         directory = []
         inline = []
+        tcp_out = self._tcp_outgoing if self._tcp is not None else None
         for dest in range(self._w):
             stages = self._stage[dest]
             for tag in self._tag_ids:
@@ -1613,6 +1920,10 @@ class _Worker:
                     np.asarray(stage.counts, dtype=np.int64),
                 ).tobytes()
                 payload = bytes(stage.payload)
+                if tcp_out is not None and dest != self.wid:
+                    tcp_out[dest].append(
+                        (tag, count, dst_bytes, sender_bytes, payload)
+                    )
                 total = len(dst_bytes) + len(sender_bytes) + len(payload)
                 if offset + total <= capacity:
                     buf[offset : offset + len(dst_bytes)] = dst_bytes
@@ -1626,6 +1937,101 @@ class _Worker:
                     inline.append((dest, tag, count, dst_bytes, sender_bytes, payload))
                 self._stage[dest][tag] = _TagStage()
         return directory, inline
+
+    def _exchange_tcp(self, directories, inlines, net) -> dict | None:
+        """Run the socket leg of the exchange; ``None`` on success, else
+        the ``{peer: cause}`` failure report.
+
+        The directories every worker shipped through the parent double as
+        the receive manifest: each (dest==us) entry from another source
+        is exactly one expected data frame, so completion needs no extra
+        control messages.  An armed network fault fires here — a netsplit
+        closes our listener before the loop (peers' connects then fail
+        with ECONNREFUSED at the kernel), a slowlink stalls us past our
+        peers' socket deadline."""
+        tcp = self._tcp
+        fault = None
+        if net is not None:
+            tcp.update_peers(net["ports"], net["epochs"])
+            fault = net.get("fault")
+        if fault == "netsplit":
+            tcp.close_listener()
+        elif fault is not None:  # ("slowlink", seconds)
+            time.sleep(fault[1])
+        wid = self.wid
+        expected: dict[int, int] = {}
+        for source, directory in enumerate(directories):
+            if source == wid:
+                continue
+            frames = sum(1 for entry in directory if entry[0] == wid)
+            if frames:
+                expected[source] = expected.get(source, 0) + frames
+        for source, entries in enumerate(inlines):
+            if source == wid:
+                continue
+            frames = sum(1 for entry in entries if entry[0] == wid)
+            if frames:
+                expected[source] = expected.get(source, 0) + frames
+        outgoing = {d: parts for d, parts in self._tcp_outgoing.items() if parts}
+        self._tcp_outgoing = {d: [] for d in range(self._w) if d != wid}
+        parts, report = tcp.exchange(outgoing, expected, self._tcp_deadline)
+        if report:
+            return report
+        self._read_slabs_tcp(directories, inlines, parts)
+        return None
+
+    def _read_slabs_tcp(self, directories, inlines, tcp_parts) -> None:
+        """The tcp-mode inbox build: our own slabs from our segment (a
+        worker's messages to itself never touch the network), every other
+        source's from its received socket frames — the same per-(source,
+        tag) parts, so the identical stable sender sort reconstructs the
+        simulator's per-receiver order."""
+        wid = self.wid
+        ovh = self._mem_overhead
+        sizes = self._sizes
+        per_tag: dict[int, list] = {tag: [] for tag in self._tag_ids}
+        seg_buf = self.segments[wid].buf
+        for dest, tag, count, offset, payload_len in directories[wid]:
+            if dest != wid:
+                continue
+            if ovh is not None:
+                self._recv_bytes += count * (sizes[tag] + ovh)
+            mid = offset + 4 * count
+            pay = mid + 4 * count
+            per_tag[tag].append(
+                (
+                    np.frombuffer(bytes(seg_buf[offset:mid]), dtype=np.int32),
+                    np.frombuffer(bytes(seg_buf[mid:pay]), dtype=np.int32),
+                    bytes(seg_buf[pay : pay + payload_len]),
+                    count,
+                )
+            )
+        for dest, tag, count, dst_bytes, sender_bytes, payload in inlines[wid]:
+            if dest != wid:
+                continue
+            if ovh is not None:
+                self._recv_bytes += count * (sizes[tag] + ovh)
+            per_tag[tag].append(
+                (
+                    np.frombuffer(dst_bytes, dtype=np.int32),
+                    np.frombuffer(sender_bytes, dtype=np.int32),
+                    payload,
+                    count,
+                )
+            )
+        for _source, frames in sorted(tcp_parts.items()):
+            for tag, count, dst_bytes, sender_bytes, payload in frames:
+                if ovh is not None:
+                    self._recv_bytes += count * (sizes[tag] + ovh)
+                per_tag[tag].append(
+                    (
+                        np.frombuffer(dst_bytes, dtype=np.int32),
+                        np.frombuffer(sender_bytes, dtype=np.int32),
+                        payload,
+                        count,
+                    )
+                )
+        self._merge_parts(per_tag)
 
     def _read_slabs(self, directories, inlines) -> None:
         """Build next superstep's inbox from every worker's slabs destined
@@ -1662,6 +2068,9 @@ class _Worker:
                         count,
                     )
                 )
+        self._merge_parts(per_tag)
+
+    def _merge_parts(self, per_tag: dict[int, list]) -> None:
         inbox = self._inbox
         for tag in self._tag_ids:
             parts = per_tag[tag]
@@ -1695,14 +2104,13 @@ class _Worker:
 
     def _gather(self) -> dict:
         engine = self.engine
-        n = engine.graph.num_nodes
-        w = self._w
+        part = self._part_slice
         out = {}
         for name, column in engine._columns.items():
             if isinstance(column, array):
-                out[name] = column[self.wid :: w].tolist()
+                out[name] = column[part].tolist()
             else:
-                out[name] = [column[v] for v in range(self.wid, n, w)]
+                out[name] = [column[v] for v in self._own_vids]
         return out
 
 
@@ -1717,7 +2125,7 @@ class MPBackend(ExecutionBackend):
         "combiners": True,
         "voting": True,
         "track_makespan": True,
-        "range_partitioning": False,
+        "range_partitioning": True,
     }
 
     def build_columns(self, schema, graph, fields, args):

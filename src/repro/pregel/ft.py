@@ -127,16 +127,31 @@ def parse_crash(spec: str) -> CrashEvent:
         ) from None
 
 
+#: the real fault kinds ``parse_fault`` and the mp engine accept.  ``kill``
+#: and ``hang`` are process faults (any mp transport); ``netsplit`` and
+#: ``slowlink`` are *network* faults that only mean something when the
+#: slabs actually travel a network — they additionally require the tcp
+#: transport (``--transport tcp``).
+REAL_FAULT_KINDS = ("kill", "hang", "netsplit", "slowlink")
+NETWORK_FAULT_KINDS = ("netsplit", "slowlink")
+
+
 @dataclass(frozen=True)
 class RealFault:
-    """A real process-level fault for the mp backend: ``kill`` SIGKILLs
-    worker ``worker``'s OS process at superstep ``superstep``; ``hang``
-    makes it sleep past the parent's exchange deadline.  Unlike a
-    :class:`CrashEvent` the failure is *not announced* — the parent must
-    detect it through its deadline-based barrier and escalate into the
-    same checkpoint recovery.  Each fault fires at most once."""
+    """A real process- or network-level fault for the mp backend.
 
-    kind: str  # "kill" | "hang"
+    ``kill`` SIGKILLs worker ``worker``'s OS process at superstep
+    ``superstep``; ``hang`` makes it sleep past the parent's exchange
+    deadline.  Under the tcp transport, ``netsplit`` closes the worker's
+    listening socket mid-exchange (peers see ECONNREFUSED) and
+    ``slowlink`` throttles the worker's outbound link below the exchange
+    deadline (peers time out waiting for its frames).  Unlike a
+    :class:`CrashEvent` the failure is *not announced* — the parent must
+    detect it through its deadline-based barrier (and, for the network
+    kinds, the workers' own peer-failure classification) and escalate
+    into the same checkpoint recovery.  Each fault fires at most once."""
+
+    kind: str  # "kill" | "hang" | "netsplit" | "slowlink"
     worker: int
     superstep: int
 
@@ -146,13 +161,17 @@ def parse_fault(spec: str) -> CrashEvent | RealFault:
 
     ``W@S`` is a simulated :class:`CrashEvent` (any backend);
     ``kill:W@S`` / ``hang:W@S`` are :class:`RealFault` process faults
-    (mp backend only — SIGKILL / sleep-past-deadline)."""
+    (mp backend only — SIGKILL / sleep-past-deadline), and
+    ``netsplit:W@S`` / ``slowlink:W@S`` are real network faults
+    (mp backend with ``--transport tcp`` only)."""
     if ":" in spec:
         kind, _, rest = spec.partition(":")
-        if kind not in ("kill", "hang"):
+        if kind not in REAL_FAULT_KINDS:
             raise ValueError(
                 f"invalid fault spec '{spec}': unknown kind '{kind}' "
-                "(expected WORKER@STEP, kill:WORKER@STEP or hang:WORKER@STEP)"
+                "(expected WORKER@STEP, or one of "
+                + ", ".join(f"{k}:WORKER@STEP" for k in REAL_FAULT_KINDS)
+                + ")"
             )
         try:
             crash = parse_crash(rest)

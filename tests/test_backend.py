@@ -147,20 +147,16 @@ class TestMultiprocessingBackend:
         )
         assert_parity(sim, mp)
 
-    @pytest.mark.parametrize(
-        "opts",
-        (
-            {"partitioning": "range"},
-            {"transport": "SENTINEL"},
-        ),
-        ids=("range", "net"),
-    )
-    def test_unsupported_compositions_refuse_cleanly(self, programs, graph, opts):
+    def test_unsupported_compositions_refuse_cleanly(self, programs, graph):
         # The engine refuses at construction, before the feature object is
         # ever touched, so a sentinel stands in for the real manager.
-        opts = {k: object() if v == "SENTINEL" else v for k, v in opts.items()}
+        # The simulated transport is the only refusal left: real pipes and
+        # sockets carry the slabs (``--transport tcp`` for the latter).
         with pytest.raises(BackendUnsupported, match="does not support"):
-            run_on(programs, graph, "pagerank", "mp", num_workers=2, **opts)
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                transport=object(),
+            )
 
 
 class TestRegistry:
@@ -245,6 +241,58 @@ class TestCLI:
 
         code = main(["run", self.gm("pagerank"), *self.ARGS,
                      "--backend", "mp", "--checkpoint-every", "2"])
+        assert code == 0
+        assert "backend=mp" in capsys.readouterr().out
+
+    @needs_mp
+    def test_transport_flag_runs_tcp(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", self.gm("pagerank"), *self.ARGS,
+                     "--backend", "mp", "--transport", "tcp",
+                     "--workers", "2"])
+        assert code == 0
+        assert "backend=mp" in capsys.readouterr().out
+
+    @needs_mp
+    def test_netsplit_over_tcp_recovers(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", self.gm("pagerank"), *self.ARGS,
+                     "--backend", "mp", "--transport", "tcp",
+                     "--workers", "2", "--checkpoint-every", "2",
+                     "--inject-fault", "netsplit:1@1",
+                     "--exchange-deadline", "2.0"])
+        assert code == 0
+        assert "backend=mp" in capsys.readouterr().out
+
+    def test_tcp_transport_needs_mp_backend(self, capsys):
+        # Validated from the flags alone, before any graph work.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS,
+                  "--backend", "sim", "--transport", "tcp"])
+        assert exc.value.code == 2
+        assert "--backend mp" in capsys.readouterr().err
+
+    def test_network_faults_need_tcp_transport(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["run", self.gm("pagerank"), *self.ARGS,
+                  "--backend", "mp", "--checkpoint-every", "2",
+                  "--inject-fault", "netsplit:1@1"])
+        assert exc.value.code == 2
+        assert "--transport tcp" in capsys.readouterr().err
+
+    @needs_mp
+    def test_partitioning_flag_runs_range(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", self.gm("pagerank"), *self.ARGS,
+                     "--backend", "mp", "--partitioning", "range",
+                     "--workers", "2"])
         assert code == 0
         assert "backend=mp" in capsys.readouterr().out
 
@@ -336,11 +384,12 @@ class TestRefusalMatrix:
         assert supports["supervisor"] is True
         assert supports["mem"] is True
         assert supports["track_makespan"] is True
+        assert supports["range_partitioning"] is True
 
-    def test_only_transport_and_range_remain_refused(self):
+    def test_only_simulated_transport_remains_refused(self):
         supports = get_backend("mp").supports
         refused = {name for name, ok in supports.items() if not ok}
-        assert refused == {"net", "range_partitioning"}
+        assert refused == {"net"}
 
 
 @needs_mp
@@ -467,8 +516,34 @@ class TestRealProcessFaults:
         assert mp.metrics.restarts == 1
         assert_parity(sim, mp)
 
+    def test_two_workers_killed_same_exchange_recover(self, programs, graph):
+        # Both partitions vanish from one exchange barrier; each blamed
+        # worker costs one restart from the budget and the run still
+        # finishes bit-identical.
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=3)
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=3,
+            ft=self.ft(),
+            real_faults=(RealFault("kill", 1, 2), RealFault("kill", 2, 2)),
+            exchange_deadline=10.0, max_restarts=3,
+        )
+        assert mp.metrics.restarts == 2
+        assert_parity(sim, mp)
+
+    def test_two_workers_killed_same_exchange_degrade_not_hang(self, programs, graph):
+        # The second failure lands while the budget covers only one
+        # restart: the run must degrade to a structured partial result,
+        # never hang in the recovery barrier.
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=3,
+            ft=self.ft(),
+            real_faults=(RealFault("kill", 1, 2), RealFault("kill", 2, 2)),
+            exchange_deadline=10.0, max_restarts=1,
+        )
+        assert mp.metrics.halt_reason == "unrecoverable"
+
     def test_exhausted_restarts_degrade_without_leaks(self, programs, graph, tmp_path):
-        from repro.pregel.backend.mp import _LIVE_SEGMENTS
+        from repro.pregel.backend.mp import _LIVE_SEGMENTS, _LIVE_SOCKETS
         from repro.pregel.mem import MemPlan, MemoryManager
 
         mem = MemoryManager(MemPlan(budget_bytes=1 << 30, spill_dir=str(tmp_path)))
@@ -485,6 +560,7 @@ class TestRealProcessFaults:
         # exception and not a hang.
         assert mp.metrics.halt_reason == "unrecoverable"
         assert _LIVE_SEGMENTS == {}
+        assert _LIVE_SOCKETS == {}
         if os.path.isdir(shm):
             leaked = {n for n in os.listdir(shm) if n.startswith("psm_")} - before
             assert leaked == set()
@@ -504,6 +580,223 @@ class TestRealProcessFaults:
             run_on(
                 programs, graph, "pagerank", "mp", num_workers=2,
                 exchange_deadline=0.0,
+            )
+
+
+@needs_mp
+class TestTcpTransport:
+    """Real TCP loopback slab exchange (``--transport tcp``): the framed
+    protocol reuses the ``repro.pregel.net`` sequencing discipline against
+    real kernel buffers, so every run must be bit-identical to shm and
+    sim — failure-free, under real network faults with recovery, and with
+    zero leaked sockets on every exit path."""
+
+    def ft(self, recovery="rollback"):
+        return FaultTolerance(FaultPlan(checkpoint_every=2, recovery=recovery))
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    @pytest.mark.parametrize("scheduling", ("frontier", "dense"))
+    def test_parity_matrix(self, programs, graph, alg, scheduling):
+        # 6 algorithms x {frontier, dense} x {shm, tcp}: the transport is
+        # observationally invisible.
+        sim = run_on(
+            programs, graph, alg, "sim", num_workers=2,
+            scheduling=scheduling,
+        )
+        shm = run_on(
+            programs, graph, alg, "mp", num_workers=2,
+            scheduling=scheduling,
+        )
+        tcp = run_on(
+            programs, graph, alg, "mp", num_workers=2,
+            scheduling=scheduling, transport_mode="tcp",
+        )
+        assert_parity(sim, shm)
+        assert_parity(sim, tcp)
+
+    def test_tcp_metrics_families_flow(self, programs, graph):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            transport_mode="tcp", metrics_registry=registry,
+        )
+        snap = registry.snapshot()
+
+        def value(name):
+            return sum(s["value"] for s in snap[name]["series"])
+
+        # Exactly-once on a healthy link: every frame sent is received
+        # and acked exactly once, byte counts agree end to end.
+        assert value("tcp.frames_sent") > 0
+        assert value("tcp.frames_received") == value("tcp.frames_sent")
+        assert value("tcp.acks_received") == value("tcp.frames_sent")
+        assert value("tcp.bytes_received") == value("tcp.bytes_sent")
+        assert value("tcp.connects") > 0
+
+    @pytest.mark.parametrize("recovery", ("rollback", "confined"))
+    @pytest.mark.parametrize("kind,superstep", [
+        ("kill", 1), ("netsplit", 2), ("slowlink", 1),
+    ])
+    def test_network_faults_recover_bit_identical(
+        self, programs, graph, kind, superstep, recovery
+    ):
+        # netsplit closes the victim's listening socket mid-exchange
+        # (peers see a real ECONNREFUSED); slowlink throttles it past the
+        # deadline (peers time out).  Either way the blame fold must
+        # identify the victim, recovery must replay it, and the run must
+        # end bit-identical to the failure-free tcp run.
+        base = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            transport_mode="tcp",
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(recovery),
+            real_faults=(RealFault(kind, 1, superstep),),
+            transport_mode="tcp", exchange_deadline=3.0,
+        )
+        assert mp.metrics.restarts == 1
+        assert_parity(base, mp)
+
+    def test_netsplit_classified_as_refused(self, programs, graph):
+        # Connection-level evidence is conclusive: the peers' ECONNREFUSED
+        # reports, not the parent's barrier timeout, name the cause.
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(),
+            real_faults=(RealFault("netsplit", 1, 2),),
+            transport_mode="tcp", exchange_deadline=3.0,
+            metrics_registry=registry,
+        )
+        assert run.metrics.restarts == 1
+        snap = registry.snapshot()
+        misses = snap["mp.exchange_deadline_misses"]["series"]
+        assert [(row["labels"], row["value"]) for row in misses] == [
+            ({"cause": "refused"}, 1)
+        ]
+        causes = {
+            row["labels"]["cause"]
+            for row in snap["tcp.peer_failures"]["series"]
+        }
+        assert "refused" in causes
+
+    @pytest.mark.parametrize("superstep", (0, 11), ids=("first", "final"))
+    def test_fault_at_run_boundaries(self, programs, graph, superstep):
+        # Edge supersteps for pagerank's 12-superstep run: a fault in the
+        # very first exchange recovers from the forced initial checkpoint;
+        # one in the last exchange replays only the tail.
+        base = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            transport_mode="tcp",
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(),
+            real_faults=(RealFault("netsplit", 1, superstep),),
+            transport_mode="tcp", exchange_deadline=3.0,
+        )
+        assert mp.metrics.restarts == 1
+        assert_parity(base, mp)
+
+    def test_two_workers_killed_same_exchange_over_tcp(self, programs, graph):
+        sim = run_on(programs, graph, "pagerank", "sim", num_workers=3)
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=3,
+            ft=self.ft(),
+            real_faults=(RealFault("kill", 1, 2), RealFault("kill", 2, 2)),
+            transport_mode="tcp", exchange_deadline=3.0, max_restarts=3,
+        )
+        assert mp.metrics.restarts == 2
+        assert_parity(sim, mp)
+
+    def test_unrecoverable_tcp_degrades_without_leaks(self, programs, graph, tmp_path):
+        from repro.pregel.backend.mp import _LIVE_SEGMENTS, _LIVE_SOCKETS
+        from repro.pregel.mem import MemPlan, MemoryManager
+
+        mem = MemoryManager(MemPlan(budget_bytes=1 << 30, spill_dir=str(tmp_path)))
+        mem._spill_path("inbox", 0)
+        shm = "/dev/shm"
+        before = set(os.listdir(shm)) if os.path.isdir(shm) else set()
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            ft=self.ft(), mem=mem,
+            real_faults=(RealFault("netsplit", 1, 2),),
+            transport_mode="tcp", exchange_deadline=3.0, max_restarts=0,
+        )
+        # Structured degradation with nothing left behind: no bound
+        # sockets, no shm segments, no spill files.
+        assert mp.metrics.halt_reason == "unrecoverable"
+        assert _LIVE_SOCKETS == {}
+        assert _LIVE_SEGMENTS == {}
+        if os.path.isdir(shm):
+            leaked = {n for n in os.listdir(shm) if n.startswith("psm_")} - before
+            assert leaked == set()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_network_faults_require_tcp_transport(self, programs, graph):
+        with pytest.raises(ValueError, match="--transport tcp"):
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                ft=self.ft(),
+                real_faults=(RealFault("netsplit", 1, 1),),
+            )
+
+    def test_unknown_transport_mode_raises(self, programs, graph):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                transport_mode="udp",
+            )
+
+
+@needs_mp
+class TestRangePartitioning:
+    """Contiguous vid blocks per worker (``--partitioning range``), lifted
+    from the refusal matrix: bit-identical to the simulator's range
+    placement at equal worker counts."""
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_parity_against_sim_range(self, programs, graph, alg):
+        sim = run_on(
+            programs, graph, alg, "sim", num_workers=3, partitioning="range",
+        )
+        mp = run_on(
+            programs, graph, alg, "mp", num_workers=3, partitioning="range",
+        )
+        assert_parity(sim, mp)
+
+    def test_range_and_tcp_compose(self, programs, graph):
+        sim = run_on(
+            programs, graph, "pagerank", "sim", num_workers=2,
+            partitioning="range",
+        )
+        mp = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            partitioning="range", transport_mode="tcp",
+        )
+        assert_parity(sim, mp)
+
+    def test_outputs_match_hash_partitioning(self, programs, graph):
+        # Partitioning moves vertices between workers, so the per-worker
+        # split differs — but the partition-independent keys and outputs
+        # must not.
+        hashed = run_on(programs, graph, "pagerank", "mp", num_workers=2)
+        ranged = run_on(
+            programs, graph, "pagerank", "mp", num_workers=2,
+            partitioning="range",
+        )
+        assert_parity(hashed, ranged, ignore_partition_keys=True)
+
+    def test_unknown_partitioning_raises(self, programs, graph):
+        with pytest.raises(ValueError, match="partitioning"):
+            run_on(
+                programs, graph, "pagerank", "mp", num_workers=2,
+                partitioning="diagonal",
             )
 
 
